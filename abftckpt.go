@@ -1,0 +1,105 @@
+// Package abftckpt is a Go reproduction of Bosilca, Bouteiller, Hérault,
+// Robert & Dongarra, "Assessing the Impact of ABFT and Checkpoint Composite
+// Strategies" (APDCM/IPDPSW 2014).
+//
+// It provides, as one library:
+//
+//   - the paper's first-order analytical model of the three fault-tolerance
+//     protocols (PurePeriodicCkpt, BiPeriodicCkpt, ABFT&PeriodicCkpt) with
+//     optimal checkpoint periods and waste prediction;
+//   - the discrete-event protocol simulator used to validate the model,
+//     with exponential (and Weibull/LogNormal) failure processes;
+//   - the weak-scaling scenario generators behind the paper's Figures 8-10;
+//   - the substrates a real composite deployment needs: ABFT-encoded dense
+//     linear algebra (checksummed GEMM and LU with single-failure
+//     recovery), coordinated/partial/incremental checkpointing, and a
+//     virtual process runtime executing the composite protocol on live
+//     application state.
+//
+// This root package is a thin facade over the internal packages; examples/
+// and cmd/ show complete usage.
+package abftckpt
+
+import (
+	"abftckpt/internal/model"
+	"abftckpt/internal/sim"
+)
+
+// Protocol identifies a fault-tolerance strategy.
+type Protocol = model.Protocol
+
+// The three protocols compared by the paper.
+const (
+	PurePeriodicCkpt = model.PurePeriodicCkpt
+	BiPeriodicCkpt   = model.BiPeriodicCkpt
+	AbftPeriodicCkpt = model.AbftPeriodicCkpt
+)
+
+// Protocols lists all protocols in presentation order.
+var Protocols = model.Protocols
+
+// Params gathers application and platform parameters (Section IV-A).
+type Params = model.Params
+
+// Result is a model prediction for one protocol on one epoch.
+type Result = model.Result
+
+// Options tunes protocol variants (safeguard rule, fixed periods).
+type Options = model.Options
+
+// Time unit helpers, in seconds.
+const (
+	Second = model.Second
+	Minute = model.Minute
+	Hour   = model.Hour
+	Day    = model.Day
+	Week   = model.Week
+)
+
+// Predict evaluates the analytical model (Equations (1)-(14)) for one
+// protocol on one epoch.
+func Predict(proto Protocol, p Params) Result {
+	return model.Evaluate(proto, p, model.Options{})
+}
+
+// PredictAll evaluates the model for all three protocols.
+func PredictAll(p Params) map[Protocol]Result {
+	return model.EvaluateAll(p, model.Options{})
+}
+
+// OptimalPeriod returns the Eq. (11) checkpoint period
+// sqrt(2*C*(mu - D - R)) and whether the protocol is feasible at first
+// order.
+func OptimalPeriod(ckptCost, mtbf, downtime, recovery float64) (period float64, feasible bool) {
+	return model.OptimalPeriod(ckptCost, mtbf, downtime, recovery)
+}
+
+// SimConfig configures a simulation campaign (see internal/sim for the
+// extended knobs: failure distributions, safeguard, caps).
+type SimConfig = sim.Config
+
+// SimAggregate summarizes a simulation campaign.
+type SimAggregate = sim.Aggregate
+
+// Simulate runs the discrete-event simulator: Reps independent executions
+// of the protocol over random failure traces, aggregated with confidence
+// intervals.
+func Simulate(cfg SimConfig) SimAggregate {
+	return sim.Simulate(cfg)
+}
+
+// Fig7Params returns the paper's Figure 7 scenario: a one-week epoch with
+// C = R = 10 min, D = 1 min, rho = 0.8, phi = 1.03, ReconsABFT = 2 s.
+func Fig7Params(mtbf, alpha float64) Params {
+	return model.Fig7Params(mtbf, alpha)
+}
+
+// WeakScaling describes the Section V-C weak-scaling scenarios.
+type WeakScaling = model.WeakScaling
+
+// Fig8Scenario, Fig9Scenario and Fig10Scenario return the paper's
+// weak-scaling studies; see internal/model and DESIGN.md §5-S3 for the
+// checkpoint-cost-scaling caveat.
+func Fig8Scenario() WeakScaling  { return model.Fig8Scenario(model.ScaleConstant) }
+func Fig9Scenario() WeakScaling  { return model.Fig9Scenario(model.ScaleLinear) }
+func Fig10Scenario() WeakScaling { return model.Fig10Scenario() }

@@ -1,0 +1,53 @@
+package abftckpt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadePredict(t *testing.T) {
+	p := Fig7Params(2*Hour, 0.8)
+	res := Predict(AbftPeriodicCkpt, p)
+	if !res.Feasible || res.Waste <= 0 || res.Waste >= 1 {
+		t.Fatalf("implausible prediction: %+v", res)
+	}
+	all := PredictAll(p)
+	if len(all) != len(Protocols) {
+		t.Fatalf("PredictAll returned %d results", len(all))
+	}
+	if all[AbftPeriodicCkpt].Waste >= all[PurePeriodicCkpt].Waste {
+		t.Error("composite should win at mu=2h, alpha=0.8")
+	}
+}
+
+func TestFacadeOptimalPeriod(t *testing.T) {
+	p, ok := OptimalPeriod(600, 2*Hour, 60, 600)
+	if !ok {
+		t.Fatal("expected feasible")
+	}
+	want := math.Sqrt(2 * 600 * (2*Hour - 660))
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("period = %v, want %v", p, want)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	p := Fig7Params(2*Hour, 0.5)
+	agg := Simulate(SimConfig{Params: p, Protocol: AbftPeriodicCkpt, Reps: 50, Seed: 1})
+	predicted := Predict(AbftPeriodicCkpt, p).Waste
+	if math.Abs(agg.Waste.Mean-predicted) > 0.08 {
+		t.Fatalf("sim %v vs model %v", agg.Waste.Mean, predicted)
+	}
+}
+
+func TestFacadeScenarios(t *testing.T) {
+	for _, w := range []WeakScaling{Fig8Scenario(), Fig9Scenario(), Fig10Scenario()} {
+		p := w.ParamsAt(10_000)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a := Fig9Scenario().Alpha(1_000_000); math.Abs(a-0.975) > 0.01 {
+		t.Fatalf("fig9 alpha at 1M = %v", a)
+	}
+}

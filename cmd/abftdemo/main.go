@@ -1,0 +1,93 @@
+// Command abftdemo demonstrates the ABFT substrate on real data: an
+// ABFT-protected LU factorization and an ABFT-protected GEMM chain, each
+// losing data mid-computation and recovering it from checksums, with
+// residual checks proving the recovery exact.
+//
+// Example:
+//
+//	abftdemo -n 256 -failstep 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abftckpt/internal/abft"
+	"abftckpt/internal/matrix"
+	"abftckpt/internal/rng"
+)
+
+func main() {
+	n := flag.Int("n", 256, "matrix order")
+	failStep := flag.Int("failstep", -1, "LU elimination step at which to kill a row (-1: n/2)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	src := rng.New(*seed)
+	if *failStep < 0 {
+		*failStep = *n / 2
+	}
+	if *failStep >= *n {
+		fmt.Fprintln(os.Stderr, "failstep must be below n")
+		os.Exit(2)
+	}
+
+	// --- ABFT LU with a mid-factorization row loss ---
+	a := matrix.RandDiagDominant(*n, src)
+	f := abft.NewLU(a)
+	for f.StepsDone() < *failStep {
+		if err := f.Step(); err != nil {
+			fmt.Fprintln(os.Stderr, "LU:", err)
+			os.Exit(1)
+		}
+	}
+	victim := *failStep + (*n-*failStep)/2
+	fmt.Printf("LU(n=%d): killing row %d after %d/%d elimination steps\n",
+		*n, victim, f.StepsDone(), *n)
+	f.EraseRow(victim)
+	if err := f.Verify(1e-7); err == nil {
+		fmt.Fprintln(os.Stderr, "verification failed to detect the erasure")
+		os.Exit(1)
+	}
+	if err := f.RecoverRow(victim); err != nil {
+		fmt.Fprintln(os.Stderr, "recovery:", err)
+		os.Exit(1)
+	}
+	if err := f.Factor(); err != nil {
+		fmt.Fprintln(os.Stderr, "LU:", err)
+		os.Exit(1)
+	}
+	res := matrix.LUResidual(a, f.LU())
+	fmt.Printf("LU recovered: ||A-LU||/||A|| = %.3g\n", res)
+	if res > 1e-8 {
+		fmt.Fprintln(os.Stderr, "residual too large")
+		os.Exit(1)
+	}
+
+	// --- ABFT GEMM chain with a block-column loss ---
+	const nb, group = 16, 4
+	cols := nb * 8
+	b := matrix.RandDense(*n, cols, src)
+	enc := abft.EncodeColumns(b, nb, group)
+	op := matrix.RandDense(*n, *n, src)
+	op.Scale(1.0 / float64(*n))
+	for step := 0; step < 4; step++ {
+		enc = abft.Gemm(op, enc)
+	}
+	ref := enc.DataView().Clone()
+	enc.EraseBlockColumn(3)
+	if err := enc.Recover([]int{3}, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "GEMM recovery:", err)
+		os.Exit(1)
+	}
+	diff := matrix.NewDense(ref.Rows, ref.Cols)
+	matrix.Sub(diff, ref, enc.DataView())
+	fmt.Printf("GEMM recovered: max|Δ| = %.3g after losing block-column 3 of a 4-step product chain\n",
+		diff.MaxAbs())
+	if err := enc.Verify(1e-6); err != nil {
+		fmt.Fprintln(os.Stderr, "GEMM verification:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}

@@ -1,0 +1,44 @@
+// Command ftwaste evaluates the analytical performance model for one
+// scenario and prints, for each protocol, the optimal checkpoint periods,
+// predicted execution time, waste and expected failure count.
+//
+// Example:
+//
+//	ftwaste -t0 604800 -alpha 0.8 -mtbf 7200 -c 600 -r 600 -d 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abftckpt/internal/model"
+)
+
+func main() {
+	var p model.Params
+	flag.Float64Var(&p.T0, "t0", model.Week, "epoch fault-free duration (s)")
+	flag.Float64Var(&p.Alpha, "alpha", 0.8, "fraction of the epoch spent in the LIBRARY phase")
+	flag.Float64Var(&p.Mu, "mtbf", 2*model.Hour, "platform MTBF (s)")
+	flag.Float64Var(&p.C, "c", 10*model.Minute, "full checkpoint duration (s)")
+	flag.Float64Var(&p.R, "r", 10*model.Minute, "full recovery duration (s)")
+	flag.Float64Var(&p.D, "d", model.Minute, "downtime (s)")
+	flag.Float64Var(&p.Rho, "rho", 0.8, "fraction of memory touched by the library (CL = rho*C)")
+	flag.Float64Var(&p.Phi, "phi", 1.03, "ABFT slowdown factor")
+	flag.Float64Var(&p.Recons, "recons", 2, "ABFT reconstruction time (s)")
+	safeguard := flag.Bool("safeguard", false, "apply the Section III-B ABFT-activation safeguard")
+	flag.Parse()
+
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "invalid parameters:", err)
+		os.Exit(2)
+	}
+	fmt.Println(p)
+	fmt.Printf("%-22s %-9s %-12s %-10s %-10s %-10s %-8s\n",
+		"protocol", "feasible", "T_final(s)", "waste", "periodG(s)", "periodL(s)", "faults")
+	for _, proto := range model.Protocols {
+		res := model.Evaluate(proto, p, model.Options{Safeguard: *safeguard})
+		fmt.Printf("%-22s %-9v %-12.4g %-10.4f %-10.4g %-10.4g %-8.2f\n",
+			proto, res.Feasible, res.TFinal, res.Waste, res.PeriodG, res.PeriodL, res.ExpectedFaults)
+	}
+}

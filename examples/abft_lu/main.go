@@ -1,0 +1,79 @@
+// ABFT LU: factor a linear system while losing a row of the trailing matrix
+// mid-factorization, recover it from the column checksums, and solve —
+// demonstrating the LIBRARY-phase mechanics the composite protocol relies
+// on (checksum reconstruction instead of rollback).
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"abftckpt/internal/abft"
+	"abftckpt/internal/matrix"
+	"abftckpt/internal/rng"
+)
+
+func main() {
+	const n = 128
+	src := rng.New(3)
+
+	// Build a diagonally dominant system A x = b with known solution.
+	a := matrix.RandDiagDominant(n, src)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = src.Float64()*2 - 1
+	}
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := a.RowView(i)
+		for j := 0; j < n; j++ {
+			b[i] += row[j] * xTrue[j]
+		}
+	}
+
+	// Factor under ABFT protection, killing a row halfway through.
+	f := abft.NewLU(a)
+	for f.StepsDone() < n/2 {
+		if err := f.Step(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	victim := n/2 + 10
+	fmt.Printf("factoring %dx%d system; row %d lost after %d elimination steps\n",
+		n, n, victim, f.StepsDone())
+	f.EraseRow(victim)
+
+	// The checksum invariant detects the loss, then repairs it.
+	if err := f.Verify(1e-7); err == nil {
+		fmt.Fprintln(os.Stderr, "erasure not detected")
+		os.Exit(1)
+	}
+	if err := f.RecoverRow(victim); err != nil {
+		fmt.Fprintln(os.Stderr, "recovery:", err)
+		os.Exit(1)
+	}
+	fmt.Println("row reconstructed from column checksums; resuming factorization")
+	if err := f.Factor(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Solve and check against the known solution.
+	lu := f.LU().Clone()
+	matrix.SolveLU(lu, b)
+	var maxErr float64
+	for i := range xTrue {
+		if d := math.Abs(b[i] - xTrue[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("residual ||A-LU||/||A|| = %.3g, max |x - x_true| = %.3g\n",
+		matrix.LUResidual(a, f.LU()), maxErr)
+	if maxErr > 1e-7 {
+		fmt.Fprintln(os.Stderr, "FAIL: solution inaccurate")
+		os.Exit(1)
+	}
+	fmt.Println("ok: failure was transparent to the solver")
+}

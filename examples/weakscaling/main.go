@@ -1,0 +1,67 @@
+// Weak-scaling study: reproduce the paper's Figures 8-10 analysis from the
+// public API — how the three protocols scale from 1k to 1M nodes, where the
+// composite protocol overtakes periodic checkpointing, and what the
+// "perfectly scalable checkpointing" hypothesis changes.
+package main
+
+import (
+	"fmt"
+
+	"abftckpt"
+)
+
+func row(label string, results map[abftckpt.Protocol]abftckpt.Result) {
+	fmt.Printf("%-10s", label)
+	for _, proto := range abftckpt.Protocols {
+		r := results[proto]
+		if r.Feasible {
+			fmt.Printf("  %8.4f", r.Waste)
+		} else {
+			fmt.Printf("  %8s", "infeas.")
+		}
+	}
+	fmt.Println()
+}
+
+func study(title string, w abftckpt.WeakScaling, nodes []float64) {
+	fmt.Println(title)
+	fmt.Printf("%-10s  %8s  %8s  %8s\n", "nodes", "pure", "bi", "abft")
+	pts := w.Sweep(nodes, abftckpt.Options{})
+	for _, pt := range pts {
+		row(fmt.Sprintf("%.0f", pt.Nodes), pt.Results)
+	}
+	fmt.Println()
+}
+
+func main() {
+	nodes := []float64{1_000, 10_000, 100_000, 1_000_000}
+
+	// Figure 8: both phases scale as O(sqrt(x)), alpha fixed at 0.8,
+	// scalable (constant-cost) checkpoint storage.
+	study("Figure 8 scenario (alpha = 0.8, C = R = 60 s constant):",
+		abftckpt.Fig8Scenario(), nodes)
+
+	// Figure 9: the GENERAL phase is O(n^2) (constant parallel time), so
+	// alpha grows with scale; checkpoint cost scales with total memory as
+	// the paper states — and collapses at extreme scale.
+	fig9 := abftckpt.Fig9Scenario()
+	fig9.AggregateEpochs = true
+	study("Figure 9 scenario (variable alpha, C = R proportional to memory):", fig9, nodes)
+
+	// Figure 10: same application, but checkpoint time independent of the
+	// node count — periodic checkpointing is rescued, yet still loses to
+	// the composite at 1M nodes.
+	study("Figure 10 scenario (variable alpha, C = R = 60 s constant):",
+		abftckpt.Fig10Scenario(), nodes)
+
+	// The paper's closing claim: only a 10x cheaper checkpoint brings
+	// PurePeriodicCkpt to parity with the composite at 1M nodes.
+	w := abftckpt.Fig10Scenario()
+	p := w.ParamsAt(1_000_000)
+	composite := abftckpt.Predict(abftckpt.AbftPeriodicCkpt, p)
+	cheap := p
+	cheap.C, cheap.R = 6, 6
+	pure6 := abftckpt.Predict(abftckpt.PurePeriodicCkpt, cheap)
+	fmt.Printf("Parity check at 1M nodes: composite waste %.4f vs PurePeriodicCkpt with C=R=6s %.4f\n",
+		composite.Waste, pure6.Waste)
+}

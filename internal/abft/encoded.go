@@ -1,0 +1,240 @@
+// Package abft implements Algorithm-Based Fault Tolerance for dense linear
+// algebra in the style of Huang & Abraham (1984) and Du et al. (PPoPP 2012):
+// matrices carry checksum blocks that the computation kernels maintain, so
+// that the data lost when a process crashes can be recomputed from the
+// surviving checksums — no checkpoint involved. This is the LIBRARY-phase
+// protection mechanism of the composite protocol.
+//
+// Two encodings are provided:
+//
+//   - Encoded: block-column group checksums for matrix products. One
+//     checksum block-column per group of `Group` consecutive block-columns;
+//     with a 1 x Q block-cyclic distribution and Group = Q, a single process
+//     failure loses at most one member of each group and is always
+//     recoverable.
+//   - LUFactorizer: a column-checksum bordered matrix for LU factorization
+//     without pivoting; the elimination maintains the checksum invariant so
+//     any single row of the trailing submatrix (and its L part) can be
+//     rebuilt mid-factorization.
+//
+// Lost data is represented as NaN, which mirrors real erasures faithfully:
+// any kernel that consumes lost data poisons its output, so tests can prove
+// recovery happened before further progress.
+package abft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"abftckpt/internal/matrix"
+)
+
+// ErrUnrecoverable is returned when erasures exceed the checksum capability
+// (more than one lost block per checksum group).
+var ErrUnrecoverable = errors.New("abft: erasures exceed checksum capability")
+
+// ErrCorrupt is returned by Verify when a checksum invariant does not hold.
+var ErrCorrupt = errors.New("abft: checksum invariant violated")
+
+// Encoded is a dense matrix extended with block-column group checksums.
+type Encoded struct {
+	// Data holds the extended matrix: DataCols original columns followed by
+	// Groups()*NB checksum columns.
+	Data *matrix.Dense
+	// NB is the block-column width.
+	NB int
+	// Group is the number of consecutive block-columns per checksum group.
+	Group int
+	// DataCols is the original (unencoded) column count.
+	DataCols int
+}
+
+// EncodeColumns extends a with one checksum block-column per group of
+// `group` block-columns of width nb. a is copied, not modified. a.Cols must
+// be a multiple of nb.
+func EncodeColumns(a *matrix.Dense, nb, group int) *Encoded {
+	if nb <= 0 || group <= 0 {
+		panic("abft: nb and group must be positive")
+	}
+	if a.Cols%nb != 0 {
+		panic(fmt.Sprintf("abft: cols %d not a multiple of block width %d", a.Cols, nb))
+	}
+	blocks := a.Cols / nb
+	groups := (blocks + group - 1) / group
+	e := &Encoded{
+		Data:     matrix.NewDense(a.Rows, a.Cols+groups*nb),
+		NB:       nb,
+		Group:    group,
+		DataCols: a.Cols,
+	}
+	for i := 0; i < a.Rows; i++ {
+		copy(e.Data.RowView(i)[:a.Cols], a.RowView(i))
+	}
+	for g := 0; g < groups; g++ {
+		e.recomputeChecksum(g)
+	}
+	return e
+}
+
+// Blocks returns the number of data block-columns.
+func (e *Encoded) Blocks() int { return e.DataCols / e.NB }
+
+// Groups returns the number of checksum groups.
+func (e *Encoded) Groups() int { return (e.Blocks() + e.Group - 1) / e.Group }
+
+// groupOf returns the checksum group of data block-column b.
+func (e *Encoded) groupOf(b int) int { return b / e.Group }
+
+// blockStart returns the first column of data block-column b.
+func (e *Encoded) blockStart(b int) int { return b * e.NB }
+
+// checksumStart returns the first column of checksum block g.
+func (e *Encoded) checksumStart(g int) int { return e.DataCols + g*e.NB }
+
+// groupMembers lists the data block-columns of group g.
+func (e *Encoded) groupMembers(g int) []int {
+	var out []int
+	for b := g * e.Group; b < (g+1)*e.Group && b < e.Blocks(); b++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+// recomputeChecksum rebuilds checksum block g from its group members.
+func (e *Encoded) recomputeChecksum(g int) {
+	cs := e.checksumStart(g)
+	for i := 0; i < e.Data.Rows; i++ {
+		row := e.Data.RowView(i)
+		for c := 0; c < e.NB; c++ {
+			var sum float64
+			for _, b := range e.groupMembers(g) {
+				sum += row[e.blockStart(b)+c]
+			}
+			row[cs+c] = sum
+		}
+	}
+}
+
+// Verify checks every group checksum within tol (scaled by the magnitude of
+// the summands). Erased (NaN) entries fail verification.
+func (e *Encoded) Verify(tol float64) error {
+	for g := 0; g < e.Groups(); g++ {
+		cs := e.checksumStart(g)
+		for i := 0; i < e.Data.Rows; i++ {
+			row := e.Data.RowView(i)
+			for c := 0; c < e.NB; c++ {
+				var sum, scale float64
+				for _, b := range e.groupMembers(g) {
+					v := row[e.blockStart(b)+c]
+					sum += v
+					scale += math.Abs(v)
+				}
+				diff := math.Abs(sum - row[cs+c])
+				if math.IsNaN(diff) || diff > tol*(1+scale) {
+					return fmt.Errorf("%w: group %d row %d offset %d (|Δ|=%g)", ErrCorrupt, g, i, c, diff)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EraseBlockColumn destroys data block-column b (sets it to NaN), modeling
+// the loss of the process that owned it.
+func (e *Encoded) EraseBlockColumn(b int) {
+	start := e.blockStart(b)
+	e.eraseCols(start)
+}
+
+// EraseChecksum destroys checksum block g.
+func (e *Encoded) EraseChecksum(g int) {
+	e.eraseCols(e.checksumStart(g))
+}
+
+func (e *Encoded) eraseCols(start int) {
+	for i := 0; i < e.Data.Rows; i++ {
+		row := e.Data.RowView(i)
+		for c := 0; c < e.NB; c++ {
+			row[start+c] = math.NaN()
+		}
+	}
+}
+
+// RecoverBlockColumn rebuilds data block-column b from its group checksum
+// and the surviving members. It fails if another member of the same group
+// (or the group checksum) is also lost.
+func (e *Encoded) RecoverBlockColumn(b int) error {
+	g := e.groupOf(b)
+	cs := e.checksumStart(g)
+	start := e.blockStart(b)
+	for i := 0; i < e.Data.Rows; i++ {
+		row := e.Data.RowView(i)
+		for c := 0; c < e.NB; c++ {
+			sum := row[cs+c]
+			for _, member := range e.groupMembers(g) {
+				if member == b {
+					continue
+				}
+				sum -= row[e.blockStart(member)+c]
+			}
+			if math.IsNaN(sum) {
+				return fmt.Errorf("%w: group %d has additional losses", ErrUnrecoverable, g)
+			}
+			row[start+c] = sum
+		}
+	}
+	return nil
+}
+
+// Recover repairs the erasures left by a process failure: lostBlocks are the
+// data block-columns and lostChecksums the checksum groups the failed
+// process owned. Data blocks are rebuilt first (each group may lose at most
+// one), then lost checksums are recomputed from the repaired data.
+func (e *Encoded) Recover(lostBlocks, lostChecksums []int) error {
+	perGroup := make(map[int]int)
+	for _, b := range lostBlocks {
+		perGroup[e.groupOf(b)]++
+	}
+	for g, n := range perGroup {
+		if n > 1 {
+			return fmt.Errorf("%w: group %d lost %d blocks", ErrUnrecoverable, g, n)
+		}
+	}
+	lostCS := make(map[int]bool, len(lostChecksums))
+	for _, g := range lostChecksums {
+		lostCS[g] = true
+	}
+	for _, b := range lostBlocks {
+		if lostCS[e.groupOf(b)] {
+			return fmt.Errorf("%w: group %d lost both a data block and its checksum", ErrUnrecoverable, e.groupOf(b))
+		}
+		if err := e.RecoverBlockColumn(b); err != nil {
+			return err
+		}
+	}
+	for _, g := range lostChecksums {
+		e.recomputeChecksum(g)
+	}
+	return nil
+}
+
+// DataView returns the original-column region (shared storage).
+func (e *Encoded) DataView() *matrix.Dense {
+	return e.Data.View(0, 0, e.Data.Rows, e.DataCols)
+}
+
+// Gemm computes C = a * b where b is column-encoded; the product is returned
+// with the same encoding, whose checksums are maintained by the
+// multiplication itself (each column of C is linear in the columns of b) —
+// the Huang-Abraham property that makes GEMM ABFT-capable.
+func Gemm(a *matrix.Dense, b *Encoded) *Encoded {
+	out := &Encoded{
+		Data:     matrix.NewDense(a.Rows, b.Data.Cols),
+		NB:       b.NB,
+		Group:    b.Group,
+		DataCols: b.DataCols,
+	}
+	matrix.Mul(out.Data, a, b.Data)
+	return out
+}

@@ -1,0 +1,215 @@
+package abft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"abftckpt/internal/matrix"
+)
+
+// ErrRowLeftProtectedSet is returned when recovery is requested for a row
+// that has already left the checksum-protected set (a completed U row): the
+// column-checksum invariant only covers the trailing submatrix and the L
+// factor. In the composite protocol such data is covered by the partial
+// checkpoints instead.
+var ErrRowLeftProtectedSet = errors.New("abft: row is a completed U row, not covered by column checksums")
+
+// LUFactorizer performs an ABFT-protected right-looking LU factorization
+// without pivoting on a column-checksum bordered matrix:
+//
+//	M = [ A ; e^T A ]   ((n+1) x n)
+//
+// The checksum row undergoes the same elimination updates as a data row,
+// which maintains the invariant (after k completed steps):
+//
+//	for columns j >= k:  M[n][j] = sum_{i=k..n-1} M[i][j]
+//	for columns j <  k:  M[n][j] = 1 + sum_{i=j+1..n-1} M[i][j]
+//
+// so a single lost row r >= k — trailing data and its L entries — can be
+// rebuilt at any step boundary from the surviving rows. The factorization
+// can be driven step by step, letting a failure injector erase rows between
+// steps exactly as a process crash would mid-call.
+type LUFactorizer struct {
+	// M is the bordered working matrix ((n+1) x n).
+	M *matrix.Dense
+	// n is the problem order.
+	n int
+	// k is the number of completed elimination steps.
+	k int
+	// scale is the pivot-tolerance reference (max |A|).
+	scale float64
+}
+
+// NewLU copies a (n x n) into a bordered working matrix and returns the
+// factorizer.
+func NewLU(a *matrix.Dense) *LUFactorizer {
+	if a.Rows != a.Cols {
+		panic("abft: LU requires a square matrix")
+	}
+	n := a.Rows
+	m := matrix.NewDense(n+1, n)
+	for i := 0; i < n; i++ {
+		copy(m.RowView(i), a.RowView(i))
+	}
+	f := &LUFactorizer{M: m, n: n, scale: a.MaxAbs()}
+	f.recomputeChecksumRow()
+	return f
+}
+
+// recomputeChecksumRow rebuilds the checksum row from the current state
+// using the step-k invariant (used at construction and to repair a lost
+// checksum row).
+func (f *LUFactorizer) recomputeChecksumRow() {
+	cs := f.M.RowView(f.n)
+	for j := 0; j < f.n; j++ {
+		var sum float64
+		if j >= f.k {
+			for i := f.k; i < f.n; i++ {
+				sum += f.M.At(i, j)
+			}
+		} else {
+			sum = 1
+			for i := j + 1; i < f.n; i++ {
+				sum += f.M.At(i, j)
+			}
+		}
+		cs[j] = sum
+	}
+}
+
+// Done reports whether all elimination steps completed.
+func (f *LUFactorizer) Done() bool { return f.k >= f.n }
+
+// StepsDone returns the number of completed elimination steps.
+func (f *LUFactorizer) StepsDone() int { return f.k }
+
+// Step performs one elimination step, updating data and checksum rows alike.
+func (f *LUFactorizer) Step() error {
+	if f.Done() {
+		return nil
+	}
+	k := f.k
+	p := f.M.At(k, k)
+	if math.Abs(p) <= 1e-13*f.scale {
+		return matrix.ErrSingular
+	}
+	urow := f.M.RowView(k)
+	for i := k + 1; i <= f.n; i++ { // includes the checksum row i = n
+		row := f.M.RowView(i)
+		l := row[k] / p
+		row[k] = l
+		if l == 0 {
+			continue
+		}
+		for j := k + 1; j < f.n; j++ {
+			row[j] -= l * urow[j]
+		}
+	}
+	f.k++
+	return nil
+}
+
+// Factor runs all remaining steps.
+func (f *LUFactorizer) Factor() error {
+	for !f.Done() {
+		if err := f.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify checks the checksum invariant within tol (scaled by magnitude).
+func (f *LUFactorizer) Verify(tol float64) error {
+	for j := 0; j < f.n; j++ {
+		var sum, scale float64
+		if j >= f.k {
+			for i := f.k; i < f.n; i++ {
+				v := f.M.At(i, j)
+				sum += v
+				scale += math.Abs(v)
+			}
+		} else {
+			sum = 1
+			for i := j + 1; i < f.n; i++ {
+				v := f.M.At(i, j)
+				sum += v
+				scale += math.Abs(v)
+			}
+		}
+		diff := math.Abs(sum - f.M.At(f.n, j))
+		if math.IsNaN(diff) || diff > tol*(1+scale) {
+			return fmt.Errorf("%w: column %d after step %d (|Δ|=%g)", ErrCorrupt, j, f.k, diff)
+		}
+	}
+	return nil
+}
+
+// EraseRow destroys data row r (NaN), modeling the loss of the process
+// holding it. Erasing the checksum row itself is modeled by EraseChecksumRow.
+func (f *LUFactorizer) EraseRow(r int) {
+	if r < 0 || r >= f.n {
+		panic("abft: row out of range")
+	}
+	row := f.M.RowView(r)
+	for j := range row {
+		row[j] = math.NaN()
+	}
+}
+
+// EraseChecksumRow destroys the checksum row.
+func (f *LUFactorizer) EraseChecksumRow() {
+	row := f.M.RowView(f.n)
+	for j := range row {
+		row[j] = math.NaN()
+	}
+}
+
+// RecoverChecksumRow rebuilds a lost checksum row from the (intact) data.
+func (f *LUFactorizer) RecoverChecksumRow() {
+	f.recomputeChecksumRow()
+}
+
+// RecoverRow rebuilds lost row r from the checksum invariant. Only rows
+// still in the protected set (r >= StepsDone()) are recoverable; completed U
+// rows return ErrRowLeftProtectedSet.
+func (f *LUFactorizer) RecoverRow(r int) error {
+	if r < 0 || r >= f.n {
+		panic("abft: row out of range")
+	}
+	if r < f.k {
+		return ErrRowLeftProtectedSet
+	}
+	row := f.M.RowView(r)
+	for j := 0; j < f.n; j++ {
+		v := f.M.At(f.n, j)
+		if j >= f.k {
+			for i := f.k; i < f.n; i++ {
+				if i == r {
+					continue
+				}
+				v -= f.M.At(i, j)
+			}
+		} else {
+			v -= 1
+			for i := j + 1; i < f.n; i++ {
+				if i == r {
+					continue
+				}
+				v -= f.M.At(i, j)
+			}
+		}
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w: surviving data incomplete for column %d", ErrUnrecoverable, j)
+		}
+		row[j] = v
+	}
+	return nil
+}
+
+// LU returns the n x n in-place factors (shared storage with the bordered
+// matrix): unit-lower L below the diagonal, U on and above.
+func (f *LUFactorizer) LU() *matrix.Dense {
+	return f.M.View(0, 0, f.n, f.n)
+}

@@ -1,0 +1,308 @@
+// Package ckpt implements the checkpoint/restart substrate of the composite
+// protocol: coordinated snapshots of named datasets, partial checkpoints
+// (REMAINDER vs LIBRARY datasets, Section III), incremental checkpoints with
+// dirty-chunk tracking (the BiPeriodicCkpt optimization), and pluggable
+// stores — in-memory, on-disk, and a buddy store that mirrors snapshots the
+// way buddy-checkpointing schemes keep a copy on a partner node.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned when a named checkpoint does not exist.
+var ErrNotFound = errors.New("ckpt: checkpoint not found")
+
+// ErrCorrupt is returned when a checkpoint fails its integrity check.
+var ErrCorrupt = errors.New("ckpt: checkpoint corrupted")
+
+// Store persists named checkpoint blobs.
+type Store interface {
+	// Save atomically replaces the blob under name.
+	Save(name string, data []byte) error
+	// Load returns the blob under name, or ErrNotFound.
+	Load(name string) ([]byte, error)
+	// Delete removes name (no error if absent).
+	Delete(name string) error
+	// List returns the stored names, sorted.
+	List() ([]string, error)
+}
+
+// MemStore is an in-memory Store, safe for concurrent use.
+type MemStore struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{blobs: make(map[string][]byte)} }
+
+// Save stores a copy of data.
+func (s *MemStore) Save(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Load returns a copy of the stored blob.
+func (s *MemStore) Load(name string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Delete removes the blob.
+func (s *MemStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, name)
+	return nil
+}
+
+// List returns sorted names.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.blobs))
+	for n := range s.blobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// DiskStore persists blobs as files in a directory, with atomic rename.
+type DiskStore struct {
+	Dir string
+}
+
+// NewDiskStore creates (if needed) and wraps a directory.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: creating store dir: %w", err)
+	}
+	return &DiskStore{Dir: dir}, nil
+}
+
+func (s *DiskStore) path(name string) string {
+	return filepath.Join(s.Dir, name+".ckpt")
+}
+
+// Save writes to a temp file then renames, so readers never see torn writes.
+func (s *DiskStore) Save(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.Dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(name))
+}
+
+// Load reads the blob from disk.
+func (s *DiskStore) Load(name string) ([]byte, error) {
+	b, err := os.ReadFile(s.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return b, err
+}
+
+// Delete removes the file.
+func (s *DiskStore) Delete(name string) error {
+	err := os.Remove(s.path(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List returns sorted checkpoint names found in the directory.
+func (s *DiskStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); filepath.Ext(n) == ".ckpt" {
+			names = append(names, n[:len(n)-len(".ckpt")])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// BuddyStore mirrors every save to a primary and a buddy store; loads fall
+// back to the buddy when the primary lost the blob — modeling
+// buddy-checkpointing, where a node's checkpoint survives its own failure in
+// a partner's memory.
+type BuddyStore struct {
+	Primary, Buddy Store
+}
+
+// Save writes to both replicas; it fails only if both fail.
+func (s *BuddyStore) Save(name string, data []byte) error {
+	err1 := s.Primary.Save(name, data)
+	err2 := s.Buddy.Save(name, data)
+	if err1 != nil && err2 != nil {
+		return fmt.Errorf("ckpt: both replicas failed: %v; %v", err1, err2)
+	}
+	return nil
+}
+
+// Load tries the primary then the buddy.
+func (s *BuddyStore) Load(name string) ([]byte, error) {
+	b, err := s.Primary.Load(name)
+	if err == nil {
+		return b, nil
+	}
+	return s.Buddy.Load(name)
+}
+
+// Delete removes the blob from both replicas.
+func (s *BuddyStore) Delete(name string) error {
+	err1 := s.Primary.Delete(name)
+	err2 := s.Buddy.Delete(name)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// List returns the primary's listing (falling back to the buddy on error).
+func (s *BuddyStore) List() ([]string, error) {
+	names, err := s.Primary.List()
+	if err != nil {
+		return s.Buddy.List()
+	}
+	return names, nil
+}
+
+// Snapshot is a coordinated checkpoint of named float64 datasets — the unit
+// the composite protocol saves and restores. Partial checkpoints are
+// snapshots containing a subset of the application's datasets (e.g. only the
+// REMAINDER dataset at library entry).
+type Snapshot struct {
+	// Version orders snapshots of the same application.
+	Version uint64
+	// Parts maps dataset name to its values.
+	Parts map[string][]float64
+}
+
+// NewSnapshot copies the given datasets into a snapshot.
+func NewSnapshot(version uint64, parts map[string][]float64) *Snapshot {
+	s := &Snapshot{Version: version, Parts: make(map[string][]float64, len(parts))}
+	for name, data := range parts {
+		s.Parts[name] = append([]float64(nil), data...)
+	}
+	return s
+}
+
+const snapshotMagic = uint32(0xABF7C4B7)
+
+// Encode serializes the snapshot with a CRC32 integrity footer.
+func (s *Snapshot) Encode() []byte {
+	var buf bytes.Buffer
+	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(snapshotMagic)
+	w(s.Version)
+	names := make([]string, 0, len(s.Parts))
+	for n := range s.Parts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w(uint32(len(names)))
+	for _, n := range names {
+		w(uint32(len(n)))
+		buf.WriteString(n)
+		data := s.Parts[n]
+		w(uint64(len(data)))
+		w(data)
+	}
+	crc := crc32.ChecksumIEEE(buf.Bytes())
+	w(crc)
+	return buf.Bytes()
+}
+
+// DecodeSnapshot parses an encoded snapshot, verifying its integrity.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	body, footer := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(footer) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	r := bytes.NewReader(body)
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic uint32
+	if err := rd(&magic); err != nil || magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	s := &Snapshot{Parts: make(map[string][]float64)}
+	if err := rd(&s.Version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var count uint32
+	if err := rd(&count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := rd(&nameLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := r.Read(name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		var dataLen uint64
+		if err := rd(&dataLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if dataLen > uint64(r.Len()/8)+1 {
+			return nil, fmt.Errorf("%w: implausible length", ErrCorrupt)
+		}
+		data := make([]float64, dataLen)
+		if err := rd(data); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		s.Parts[string(name)] = data
+	}
+	return s, nil
+}
+
+// Save encodes and stores a snapshot under name.
+func Save(store Store, name string, s *Snapshot) error {
+	return store.Save(name, s.Encode())
+}
+
+// Load retrieves and decodes the snapshot stored under name.
+func Load(store Store, name string) (*Snapshot, error) {
+	b, err := store.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(b)
+}

@@ -1,0 +1,109 @@
+package ckpt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// IncrementalTracker implements dirty-chunk incremental checkpointing: the
+// dataset is split into fixed chunks whose content hashes are remembered at
+// every checkpoint, and the next checkpoint saves only the chunks that
+// changed. This is the mechanism behind the reduced LIBRARY-phase checkpoint
+// cost CL = rho*C of BiPeriodicCkpt: when a phase touches only a fraction of
+// the memory, only that fraction is re-saved.
+type IncrementalTracker struct {
+	chunkLen int
+	hashes   []uint64
+}
+
+// NewIncrementalTracker tracks a dataset of n float64 values in chunks of
+// chunkLen values.
+func NewIncrementalTracker(n, chunkLen int) *IncrementalTracker {
+	if n <= 0 || chunkLen <= 0 {
+		panic("ckpt: tracker sizes must be positive")
+	}
+	chunks := (n + chunkLen - 1) / chunkLen
+	return &IncrementalTracker{chunkLen: chunkLen, hashes: make([]uint64, chunks)}
+}
+
+// Chunks returns the number of tracked chunks.
+func (t *IncrementalTracker) Chunks() int { return len(t.hashes) }
+
+func (t *IncrementalTracker) hashChunk(data []float64, idx int) uint64 {
+	h := fnv.New64a()
+	lo := idx * t.chunkLen
+	hi := lo + t.chunkLen
+	if hi > len(data) {
+		hi = len(data)
+	}
+	var buf [8]byte
+	for _, v := range data[lo:hi] {
+		bits := math.Float64bits(v)
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(bits >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Delta is the set of chunks that changed since the previous checkpoint.
+type Delta struct {
+	ChunkLen int
+	Chunks   map[int][]float64
+}
+
+// DirtyChunks returns the indices of chunks whose content changed since the
+// last Capture, without updating the tracker.
+func (t *IncrementalTracker) DirtyChunks(data []float64) []int {
+	var dirty []int
+	for i := range t.hashes {
+		if t.hashChunk(data, i) != t.hashes[i] {
+			dirty = append(dirty, i)
+		}
+	}
+	return dirty
+}
+
+// Capture returns the delta of changed chunks and updates the tracker state
+// so the next Capture is relative to this one.
+func (t *IncrementalTracker) Capture(data []float64) *Delta {
+	d := &Delta{ChunkLen: t.chunkLen, Chunks: make(map[int][]float64)}
+	for i := range t.hashes {
+		h := t.hashChunk(data, i)
+		if h == t.hashes[i] {
+			continue
+		}
+		t.hashes[i] = h
+		lo := i * t.chunkLen
+		hi := lo + t.chunkLen
+		if hi > len(data) {
+			hi = len(data)
+		}
+		d.Chunks[i] = append([]float64(nil), data[lo:hi]...)
+	}
+	return d
+}
+
+// Apply writes the delta's chunks into data (the restore path: replay deltas
+// over the last full snapshot in capture order).
+func (d *Delta) Apply(data []float64) error {
+	for idx, chunk := range d.Chunks {
+		lo := idx * d.ChunkLen
+		if lo < 0 || lo+len(chunk) > len(data) {
+			return fmt.Errorf("ckpt: delta chunk %d outside dataset", idx)
+		}
+		copy(data[lo:lo+len(chunk)], chunk)
+	}
+	return nil
+}
+
+// Size returns the number of float64 values carried by the delta.
+func (d *Delta) Size() int {
+	var n int
+	for _, c := range d.Chunks {
+		n += len(c)
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+// Package des is a small deterministic discrete-event simulation engine: an
+// event calendar ordered by (time, priority, insertion sequence) with
+// cancellation, used to host event-driven protocol simulations. Determinism
+// is guaranteed: ties are broken by priority then by scheduling order, never
+// by map iteration or goroutine scheduling.
+package des
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Event is a scheduled callback. The zero value is inert.
+type Event struct {
+	// Time at which the event fires.
+	Time float64
+	// Priority breaks ties at equal times (lower fires first).
+	Priority int
+	// Fn is the event action.
+	Fn func()
+
+	seq       uint64
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventHeap orders events by (Time, Priority, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation clock and event calendar.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// New returns an engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of queued (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule enqueues fn at absolute time t (>= Now) with priority 0.
+func (e *Engine) Schedule(t float64, fn func()) *Event {
+	return e.ScheduleP(t, 0, fn)
+}
+
+// ScheduleP enqueues fn at absolute time t with an explicit priority.
+func (e *Engine) ScheduleP(t float64, priority int, fn func()) *Event {
+	if t < e.now || math.IsNaN(t) {
+		panic("des: scheduling into the past")
+	}
+	e.seq++
+	ev := &Event{Time: t, Priority: priority, Fn: fn, seq: e.seq, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn after a delay d from the current time.
+func (e *Engine) After(d float64, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel prevents a queued event from firing. Cancelling a fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Halt stops Run after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the next event; it returns false when the calendar is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.Time
+		e.fired++
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the calendar is empty, Halt is called, or the next
+// event is beyond `until` (use +Inf for no bound). It returns the number of
+// events fired during this call.
+func (e *Engine) Run(until float64) uint64 {
+	start := e.fired
+	e.halted = false
+	for !e.halted {
+		// Peek without popping so an out-of-bound event stays queued.
+		idx := -1
+		for len(e.queue) > 0 {
+			if e.queue[0].cancelled {
+				heap.Pop(&e.queue)
+				continue
+			}
+			idx = 0
+			break
+		}
+		if idx < 0 || e.queue[0].Time > until {
+			break
+		}
+		e.Step()
+	}
+	return e.fired - start
+}

@@ -1,0 +1,184 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"abftckpt/internal/rng"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run(math.Inf(1))
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestTieBreakByPriorityThenSeq(t *testing.T) {
+	e := New()
+	var order []string
+	e.ScheduleP(5, 1, func() { order = append(order, "low") })
+	e.ScheduleP(5, 0, func() { order = append(order, "high") })
+	e.ScheduleP(5, 1, func() { order = append(order, "low2") })
+	e.Run(math.Inf(1))
+	if order[0] != "high" || order[1] != "low" || order[2] != "low2" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at float64
+	e.Schedule(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run(math.Inf(1))
+	if at != 15 {
+		t.Fatalf("after fired at %v, want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run(math.Inf(1))
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Double cancel and cancel-after-fire are no-ops.
+	e.Cancel(ev)
+	ev2 := e.Schedule(e.Now()+1, func() {})
+	e.Run(math.Inf(1))
+	e.Cancel(ev2)
+	e.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	e := New()
+	fired := false
+	var victim *Event
+	e.Schedule(1, func() { e.Cancel(victim) })
+	victim = e.Schedule(2, func() { fired = true })
+	e.Run(math.Inf(1))
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntilBound(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		e.Schedule(tm, func() { fired = append(fired, tm) })
+	}
+	n := e.Run(2.5)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("fired %v (%d)", fired, n)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run(math.Inf(1))
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(1, func() { count++; e.Halt() })
+	e.Schedule(2, func() { count++ })
+	e.Run(math.Inf(1))
+	if count != 1 {
+		t.Fatalf("halt ignored: count = %d", count)
+	}
+	e.Run(math.Inf(1))
+	if count != 2 {
+		t.Fatalf("engine did not resume: count = %d", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty calendar returned true")
+	}
+}
+
+// Property: N randomly scheduled events fire in nondecreasing time order.
+func TestRandomScheduleOrdering(t *testing.T) {
+	src := rng.New(7)
+	e := New()
+	var times []float64
+	for i := 0; i < 1000; i++ {
+		tm := src.Float64() * 100
+		e.Schedule(tm, func() { times = append(times, e.Now()) })
+	}
+	e.Run(math.Inf(1))
+	if len(times) != 1000 {
+		t.Fatalf("fired %d", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("out of order at %d: %v < %v", i, times[i], times[i-1])
+		}
+	}
+	if e.Fired() != 1000 {
+		t.Fatalf("fired counter = %d", e.Fired())
+	}
+}
+
+// Events scheduled from within events interleave correctly (M/M/1-style
+// cascade).
+func TestCascadeDeterminism(t *testing.T) {
+	run := func() []float64 {
+		src := rng.New(42)
+		e := New()
+		var log []float64
+		var arrive func()
+		n := 0
+		arrive = func() {
+			log = append(log, e.Now())
+			n++
+			if n < 100 {
+				e.After(src.Float64()+0.01, arrive)
+			}
+		}
+		e.Schedule(0, arrive)
+		e.Run(math.Inf(1))
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("cascade not deterministic")
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation section (Section V) from the analytical model and the
+// simulator. It is shared by cmd/figures and by the benchmark harness in the
+// repository root.
+//
+// Parameter choices that the paper leaves ambiguous (notably the
+// checkpoint-cost scaling of Figures 8-10, whose stated form is infeasible
+// at 10^6 nodes) are documented in DESIGN.md §5-S3 and EXPERIMENTS.md; both
+// the paper-stated and the feasible variants are emitted.
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"abftckpt/internal/dist"
+	"abftckpt/internal/model"
+	"abftckpt/internal/plot"
+	"abftckpt/internal/rng"
+	"abftckpt/internal/sim"
+	"abftckpt/internal/sweep"
+)
+
+// Fig7Config parameterizes the Figure 7 heatmaps.
+type Fig7Config struct {
+	// Protocol selects the column of Figure 7 (a/b: Pure, c/d: Bi, e/f:
+	// composite).
+	Protocol model.Protocol
+	// MTBFMinutes is the x axis (paper: 60 to 240 minutes).
+	MTBFMinutes []float64
+	// Alphas is the y axis (paper: 0 to 1).
+	Alphas []float64
+	// Reps is the number of simulator runs per cell for the difference
+	// heatmap (paper: 1000).
+	Reps int
+	// Seed addresses the failure-trace streams.
+	Seed uint64
+	// Workers bounds sweep parallelism (0: NumCPU).
+	Workers int
+}
+
+func (c Fig7Config) withDefaults() Fig7Config {
+	if len(c.MTBFMinutes) == 0 {
+		c.MTBFMinutes = sweep.Linspace(60, 240, 19)
+	}
+	if len(c.Alphas) == 0 {
+		c.Alphas = sweep.Linspace(0, 1, 21)
+	}
+	if c.Reps <= 0 {
+		c.Reps = 100
+	}
+	return c
+}
+
+// Fig7Model computes the model-predicted waste heatmap (Figures 7a/7c/7e).
+func Fig7Model(cfg Fig7Config) *plot.Heatmap {
+	cfg = cfg.withDefaults()
+	grid := sweep.Grid{Xs: cfg.MTBFMinutes, Ys: cfg.Alphas}
+	z := sweep.Run(grid, cfg.Workers, func(_, _ int, alpha, mtbfMin float64) float64 {
+		p := model.Fig7Params(mtbfMin*model.Minute, alpha)
+		return model.Evaluate(cfg.Protocol, p, model.Options{}).Waste
+	})
+	return &plot.Heatmap{
+		Title:  fmt.Sprintf("Waste of %v: Model (T0=1w, C=R=10min, D=1min, rho=0.8, phi=1.03)", cfg.Protocol),
+		XLabel: "MTBF system (minutes)",
+		YLabel: "Ratio of time spent in Library Phase (alpha)",
+		Xs:     cfg.MTBFMinutes,
+		Ys:     cfg.Alphas,
+		Z:      z,
+	}
+}
+
+// Fig7Sim computes the simulator-measured waste heatmap.
+func Fig7Sim(cfg Fig7Config) *plot.Heatmap {
+	cfg = cfg.withDefaults()
+	grid := sweep.Grid{Xs: cfg.MTBFMinutes, Ys: cfg.Alphas}
+	z := sweep.Run(grid, cfg.Workers, func(row, col int, alpha, mtbfMin float64) float64 {
+		p := model.Fig7Params(mtbfMin*model.Minute, alpha)
+		agg := sim.Simulate(sim.Config{
+			Params:   p,
+			Protocol: cfg.Protocol,
+			Reps:     cfg.Reps,
+			Seed:     rng.At(cfg.Seed, uint64(cfg.Protocol), uint64(row), uint64(col)),
+		})
+		return agg.Waste.Mean
+	})
+	return &plot.Heatmap{
+		Title:  fmt.Sprintf("Waste of %v: Simulation (%d runs/cell)", cfg.Protocol, cfg.Reps),
+		XLabel: "MTBF system (minutes)",
+		YLabel: "Ratio of time spent in Library Phase (alpha)",
+		Xs:     cfg.MTBFMinutes,
+		Ys:     cfg.Alphas,
+		Z:      z,
+	}
+}
+
+// Fig7Diff computes the difference heatmap WASTE_simul - WASTE_model
+// (Figures 7b/7d/7f).
+func Fig7Diff(cfg Fig7Config) *plot.Heatmap {
+	cfg = cfg.withDefaults()
+	m := Fig7Model(cfg)
+	s := Fig7Sim(cfg)
+	diff := s.Z.Sub(m.Z)
+	return &plot.Heatmap{
+		Title:  fmt.Sprintf("%v: Difference WASTE_simul - WASTE_model", cfg.Protocol),
+		XLabel: m.XLabel,
+		YLabel: m.YLabel,
+		Xs:     cfg.MTBFMinutes,
+		Ys:     cfg.Alphas,
+		Z:      diff,
+	}
+}
+
+// ScalingSeries names one protocol series of a weak-scaling chart.
+type ScalingSeries struct {
+	Name     string
+	Scenario model.WeakScaling
+	Protocol model.Protocol
+}
+
+// ScalingCharts evaluates the given series over the node counts and returns
+// the waste chart and the expected-fault-count chart (the two stacked panels
+// of Figures 8-10).
+func ScalingCharts(title string, nodes []float64, series []ScalingSeries, opts model.Options) (waste, faults *plot.LineChart) {
+	waste = &plot.LineChart{
+		Title: title + " - waste", XLabel: "Nodes", YLabel: "Waste", Xs: nodes, LogX: true,
+	}
+	faults = &plot.LineChart{
+		Title: title + " - expected faults", XLabel: "Nodes", YLabel: "# Faults", Xs: nodes, LogX: true,
+	}
+	for _, s := range series {
+		pts := s.Scenario.Sweep(nodes, opts)
+		w := make([]float64, len(pts))
+		f := make([]float64, len(pts))
+		for i, pt := range pts {
+			res := pt.Results[s.Protocol]
+			w[i] = res.Waste
+			if math.IsInf(res.ExpectedFaults, 1) {
+				f[i] = math.NaN() // infeasible: no finite fault count
+			} else {
+				f[i] = res.ExpectedFaults
+			}
+		}
+		waste.Series = append(waste.Series, plot.Series{Name: s.Name, Values: w})
+		faults.Series = append(faults.Series, plot.Series{Name: s.Name, Values: f})
+	}
+	return waste, faults
+}
+
+func protocolSeries(scenario model.WeakScaling, suffix string) []ScalingSeries {
+	out := make([]ScalingSeries, 0, 3)
+	for _, proto := range model.Protocols {
+		out = append(out, ScalingSeries{Name: proto.String() + suffix, Scenario: scenario, Protocol: proto})
+	}
+	return out
+}
+
+// Fig8 returns the Figure 8 charts: weak scaling with alpha fixed at 0.8.
+// The headline series uses constant (scalable-storage) checkpoint cost —
+// the variant under which the published curve shapes stay feasible at 10^6
+// nodes. The composite pays its forced phase-switch checkpoints in every
+// epoch (the faithful Section III protocol), which reproduces the published
+// crossover in the 10^5..10^6 decade; an amortized variant and the
+// paper-stated linear checkpoint scaling are emitted alongside (the latter
+// drives every protocol infeasible at extreme scale, see DESIGN.md §5-S3).
+func Fig8(nodes []float64) (waste, faults *plot.LineChart) {
+	amortized := model.Fig8Scenario(model.ScaleConstant)
+	amortized.AggregateEpochs = true
+	series := append(
+		protocolSeries(model.Fig8Scenario(model.ScaleConstant), ""),
+		ScalingSeries{
+			Name:     model.AbftPeriodicCkpt.String() + " (amortized ckpts)",
+			Scenario: amortized,
+			Protocol: model.AbftPeriodicCkpt,
+		},
+	)
+	series = append(series, protocolSeries(model.Fig8Scenario(model.ScaleLinear), " (C~x)")...)
+	return ScalingCharts("Figure 8: weak scaling, alpha=0.8", nodes, series, model.Options{})
+}
+
+// Fig9 returns the Figure 9 charts: weak scaling with an O(n^2) GENERAL
+// phase, so alpha grows from 0.55 at 1k nodes to 0.975 at 1M nodes. The
+// headline series uses the paper-stated linear checkpoint scaling — showing
+// memory-proportional checkpointing collapsing at scale — with the
+// composite's forced checkpoints amortized over the run (per-epoch forced
+// checkpoints of cost C ~ x on sub-minute epochs would smother every
+// advantage; the per-epoch series is emitted as a variant). The
+// constant-cost scenario is Figure 10.
+func Fig9(nodes []float64) (waste, faults *plot.LineChart) {
+	amortized := model.Fig9Scenario(model.ScaleLinear)
+	amortized.AggregateEpochs = true
+	series := protocolSeries(amortized, "")
+	series = append(series, ScalingSeries{
+		Name:     model.AbftPeriodicCkpt.String() + " (per-epoch ckpts)",
+		Scenario: model.Fig9Scenario(model.ScaleLinear),
+		Protocol: model.AbftPeriodicCkpt,
+	})
+	return ScalingCharts("Figure 9: weak scaling, variable alpha", nodes, series, model.Options{})
+}
+
+// Fig10 returns the Figure 10 charts: the Figure 9 scenario with checkpoint
+// and recovery time independent of the node count (C = R = 60 s).
+func Fig10(nodes []float64) (waste, faults *plot.LineChart) {
+	return ScalingCharts("Figure 10: weak scaling, constant checkpoint time",
+		nodes, protocolSeries(model.Fig10Scenario(), ""), model.Options{})
+}
+
+// Fig10ParityTable reproduces the paper's closing claim: at 10^6 nodes with
+// C = R = 60 s the periodic protocols lose to the composite, and only a 10x
+// cheaper checkpoint (C = R = 6 s) brings PurePeriodicCkpt to comparable
+// performance.
+func Fig10ParityTable() *plot.Table {
+	t := &plot.Table{
+		Title:   "Figure 10 parity check at 1M nodes (per-epoch model)",
+		Columns: []string{"configuration", "waste", "expected faults/app"},
+	}
+	w := model.Fig10Scenario()
+	add := func(name string, proto model.Protocol, scen model.WeakScaling) {
+		res := scen.EvaluateProtocol(proto, 1_000_000, model.Options{})
+		t.AddRow(name,
+			fmt.Sprintf("%.4f", res.Waste),
+			fmt.Sprintf("%.1f", res.ExpectedFaults))
+	}
+	add("PurePeriodicCkpt C=R=60s", model.PurePeriodicCkpt, w)
+	add("BiPeriodicCkpt C=R=60s", model.BiPeriodicCkpt, w)
+	add("ABFT&PeriodicCkpt C=R=60s", model.AbftPeriodicCkpt, w)
+	cheap := w
+	cheap.CkptAtBase = 6
+	add("PurePeriodicCkpt C=R=6s (10x cheaper)", model.PurePeriodicCkpt, cheap)
+	return t
+}
+
+// PeriodTable compares the checkpoint-period formulas (Eq. 11 vs Young 1974
+// vs Daly 2004) and the waste each induces, over representative platforms.
+func PeriodTable() *plot.Table {
+	t := &plot.Table{
+		Title: "Optimal checkpoint periods: Eq.(11) vs Young vs Daly (D=1min, R=C)",
+		Columns: []string{"C", "MTBF", "P eq11 (s)", "P young (s)", "P daly (s)",
+			"waste@eq11", "waste@young", "waste@daly"},
+	}
+	for _, c := range []float64{model.Minute, 10 * model.Minute} {
+		for _, mu := range []float64{model.Hour, 6 * model.Hour, model.Day} {
+			d, r := model.Minute, c
+			eq11, ok := model.OptimalPeriod(c, mu, d, r)
+			young := model.YoungPeriod(c, mu)
+			daly := model.DalyPeriod(c, mu, d, r)
+			if !ok {
+				t.AddRow(fmtDur(c), fmtDur(mu), "infeasible", "", "", "", "", "")
+				continue
+			}
+			w := func(p float64) string {
+				return fmt.Sprintf("%.4f", 1-model.PeriodicFactor(p, c, mu, d, r))
+			}
+			t.AddRow(fmtDur(c), fmtDur(mu),
+				fmt.Sprintf("%.0f", eq11), fmt.Sprintf("%.0f", young), fmt.Sprintf("%.0f", daly),
+				w(eq11), w(young), w(daly))
+		}
+	}
+	return t
+}
+
+func fmtDur(seconds float64) string {
+	switch {
+	case seconds >= model.Day:
+		return fmt.Sprintf("%gd", seconds/model.Day)
+	case seconds >= model.Hour:
+		return fmt.Sprintf("%gh", seconds/model.Hour)
+	case seconds >= model.Minute:
+		return fmt.Sprintf("%gmin", seconds/model.Minute)
+	default:
+		return fmt.Sprintf("%gs", seconds)
+	}
+}
+
+// AblationEpochAggregation contrasts per-epoch forced checkpoints (the
+// faithful Section III protocol) with whole-application aggregation, for the
+// Figure 8 scalable-storage scenario.
+func AblationEpochAggregation(nodes []float64) *plot.Table {
+	t := &plot.Table{
+		Title:   "Ablation: composite waste, per-epoch forced checkpoints vs aggregated epochs (Fig. 8 scenario, C const)",
+		Columns: []string{"nodes", "waste per-epoch", "waste aggregated"},
+	}
+	per := model.Fig8Scenario(model.ScaleConstant)
+	agg := per
+	agg.AggregateEpochs = true
+	for _, n := range nodes {
+		wp := model.Evaluate(model.AbftPeriodicCkpt, per.ParamsAt(n), model.Options{}).Waste
+		wa := model.Evaluate(model.AbftPeriodicCkpt, agg.ParamsAt(n), model.Options{}).Waste
+		t.AddRow(fmt.Sprintf("%.0f", n), fmt.Sprintf("%.4f", wp), fmt.Sprintf("%.4f", wa))
+	}
+	return t
+}
+
+// AblationSafeguard contrasts the composite with and without the Section
+// III-B safeguard on the Figure 8 scenario.
+func AblationSafeguard(nodes []float64) *plot.Table {
+	t := &plot.Table{
+		Title:   "Ablation: composite waste with and without the ABFT-activation safeguard (Fig. 8 scenario, C const)",
+		Columns: []string{"nodes", "waste no safeguard", "waste safeguard", "ABFT active"},
+	}
+	w := model.Fig8Scenario(model.ScaleConstant)
+	for _, n := range nodes {
+		p := w.ParamsAt(n)
+		off := model.Evaluate(model.AbftPeriodicCkpt, p, model.Options{})
+		on := model.Evaluate(model.AbftPeriodicCkpt, p, model.Options{Safeguard: true})
+		t.AddRow(fmt.Sprintf("%.0f", n),
+			fmt.Sprintf("%.4f", off.Waste),
+			fmt.Sprintf("%.4f", on.Waste),
+			fmt.Sprintf("%v", on.ABFTActive))
+	}
+	return t
+}
+
+// WeibullSensitivity measures simulated composite waste under Weibull
+// failures of equal MTBF but varying shape (k=1 is exponential), on a
+// Figure 7 slice.
+func WeibullSensitivity(shapes []float64, reps int, seed uint64) *plot.Table {
+	t := &plot.Table{
+		Title:   "Sensitivity: simulated waste vs failure distribution shape (mu=2h, alpha=0.8)",
+		Columns: []string{"weibull k", "pure waste", "bi waste", "composite waste"},
+	}
+	p := model.Fig7Params(2*model.Hour, 0.8)
+	for _, k := range shapes {
+		k := k
+		row := []string{fmt.Sprintf("%g", k)}
+		for _, proto := range model.Protocols {
+			cfg := sim.Config{
+				Params: p, Protocol: proto, Reps: reps,
+				Seed: rng.At(seed, uint64(k*1000)),
+				Distribution: func(mtbf float64) dist.Distribution {
+					return dist.WeibullWithMTBF(k, mtbf)
+				},
+			}
+			row = append(row, fmt.Sprintf("%.4f", sim.Simulate(cfg).Waste.Mean))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,8 @@
+package figures
+
+import "fmt"
+
+// sscan parses a float cell produced by the table builders.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", v)
+}

@@ -1,0 +1,94 @@
+// Package grid models the process grids and block-cyclic data distributions
+// of ScaLAPACK-style dense linear algebra: it maps matrix tiles to virtual
+// processes and computes which tiles are lost when a process fails — the
+// input the ABFT recovery needs.
+package grid
+
+import "fmt"
+
+// Grid is a P x Q arrangement of processes.
+type Grid struct {
+	P, Q int
+}
+
+// New returns a validated grid.
+func New(p, q int) Grid {
+	if p <= 0 || q <= 0 {
+		panic("grid: dimensions must be positive")
+	}
+	return Grid{P: p, Q: q}
+}
+
+// Size returns the process count.
+func (g Grid) Size() int { return g.P * g.Q }
+
+// Rank flattens (row, col) process coordinates.
+func (g Grid) Rank(row, col int) int {
+	if row < 0 || row >= g.P || col < 0 || col >= g.Q {
+		panic(fmt.Sprintf("grid: coords (%d,%d) out of %dx%d", row, col, g.P, g.Q))
+	}
+	return row*g.Q + col
+}
+
+// Coords inverts Rank.
+func (g Grid) Coords(rank int) (row, col int) {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("grid: rank %d out of %d", rank, g.Size()))
+	}
+	return rank / g.Q, rank % g.Q
+}
+
+// TileIndex addresses a tile of a block-partitioned matrix.
+type TileIndex struct {
+	Row, Col int
+}
+
+// BlockCyclic is a 2D block-cyclic distribution of a TRows x TCols tile grid
+// over a process grid: tile (i, j) lives on process (i mod P, j mod Q).
+type BlockCyclic struct {
+	G            Grid
+	TRows, TCols int
+}
+
+// NewBlockCyclic validates and builds a distribution.
+func NewBlockCyclic(g Grid, tRows, tCols int) BlockCyclic {
+	if tRows <= 0 || tCols <= 0 {
+		panic("grid: tile grid dimensions must be positive")
+	}
+	return BlockCyclic{G: g, TRows: tRows, TCols: tCols}
+}
+
+// Owner returns the rank owning tile (i, j).
+func (d BlockCyclic) Owner(i, j int) int {
+	if i < 0 || i >= d.TRows || j < 0 || j >= d.TCols {
+		panic(fmt.Sprintf("grid: tile (%d,%d) out of %dx%d", i, j, d.TRows, d.TCols))
+	}
+	return d.G.Rank(i%d.G.P, j%d.G.Q)
+}
+
+// TilesOf lists the tiles owned by a rank, in row-major order.
+func (d BlockCyclic) TilesOf(rank int) []TileIndex {
+	row, col := d.G.Coords(rank)
+	var out []TileIndex
+	for i := row; i < d.TRows; i += d.G.P {
+		for j := col; j < d.TCols; j += d.G.Q {
+			out = append(out, TileIndex{Row: i, Col: j})
+		}
+	}
+	return out
+}
+
+// LostTiles returns the tiles destroyed when `rank` fails (same as TilesOf:
+// a crashed process loses exactly its tile set).
+func (d BlockCyclic) LostTiles(rank int) []TileIndex { return d.TilesOf(rank) }
+
+// Counts returns how many tiles each rank owns.
+func (d BlockCyclic) Counts() []int {
+	out := make([]int, d.G.Size())
+	for i := 0; i < d.TRows; i++ {
+		for j := 0; j < d.TCols; j++ {
+			out[d.Owner(i, j)]++
+		}
+	}
+	return out
+}

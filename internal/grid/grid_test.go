@@ -1,0 +1,102 @@
+package grid
+
+import "testing"
+
+func TestRankCoordsRoundTrip(t *testing.T) {
+	g := New(3, 4)
+	if g.Size() != 12 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	for r := 0; r < g.Size(); r++ {
+		row, col := g.Coords(r)
+		if g.Rank(row, col) != r {
+			t.Fatalf("round trip failed at %d", r)
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(0, 1) },
+		func() { New(1, 0) },
+		func() { New(2, 2).Rank(2, 0) },
+		func() { New(2, 2).Coords(4) },
+		func() { NewBlockCyclic(New(2, 2), 0, 1) },
+		func() { NewBlockCyclic(New(2, 2), 4, 4).Owner(4, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBlockCyclicOwnership(t *testing.T) {
+	d := NewBlockCyclic(New(2, 3), 4, 6)
+	// Tile (i,j) -> process (i%2, j%3).
+	if d.Owner(0, 0) != 0 || d.Owner(1, 0) != 3 || d.Owner(2, 4) != 1 {
+		t.Fatalf("owners: %d %d %d", d.Owner(0, 0), d.Owner(1, 0), d.Owner(2, 4))
+	}
+}
+
+func TestTilesPartition(t *testing.T) {
+	d := NewBlockCyclic(New(2, 2), 5, 3)
+	seen := make(map[TileIndex]int)
+	total := 0
+	for r := 0; r < d.G.Size(); r++ {
+		for _, ti := range d.TilesOf(r) {
+			seen[ti]++
+			total++
+			if d.Owner(ti.Row, ti.Col) != r {
+				t.Fatalf("tile %v listed for %d but owned by %d", ti, r, d.Owner(ti.Row, ti.Col))
+			}
+		}
+	}
+	if total != 15 {
+		t.Fatalf("total tiles = %d, want 15", total)
+	}
+	for ti, n := range seen {
+		if n != 1 {
+			t.Fatalf("tile %v assigned %d times", ti, n)
+		}
+	}
+}
+
+func TestCountsBalanced(t *testing.T) {
+	d := NewBlockCyclic(New(2, 2), 4, 4)
+	for r, c := range d.Counts() {
+		if c != 4 {
+			t.Fatalf("rank %d owns %d tiles, want 4", r, c)
+		}
+	}
+}
+
+func TestLostTilesMatchesTilesOf(t *testing.T) {
+	d := NewBlockCyclic(New(2, 3), 6, 6)
+	for r := 0; r < d.G.Size(); r++ {
+		lost := d.LostTiles(r)
+		owned := d.TilesOf(r)
+		if len(lost) != len(owned) {
+			t.Fatalf("rank %d: lost %d != owned %d", r, len(lost), len(owned))
+		}
+	}
+}
+
+// In a 1 x Q grid, a failed process loses entire tile columns j = col mod Q.
+func TestOneByQColumnLoss(t *testing.T) {
+	d := NewBlockCyclic(New(1, 4), 3, 8)
+	lost := d.LostTiles(1)
+	if len(lost) != 6 {
+		t.Fatalf("lost %d tiles, want 6", len(lost))
+	}
+	for _, ti := range lost {
+		if ti.Col%4 != 1 {
+			t.Fatalf("unexpected lost tile %v", ti)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package model
+
+import "math"
+
+// OptimalPeriod returns the checkpointing period of Equation (11),
+// P_opt = sqrt(2*cost*(mu - D - R)), which maximizes
+// X = (1 - cost/P)(1 - (D + R + P/2)/mu), together with a feasibility flag.
+//
+// The protocol is feasible at first order iff mu > D + R + cost/2, which is
+// simultaneously the condition for P_opt > cost (at least one checkpoint fits
+// in a period) and for the failure-overhead factor at P_opt to stay positive.
+func OptimalPeriod(cost, mu, d, r float64) (p float64, feasible bool) {
+	if cost <= 0 {
+		// Free checkpoints: checkpoint continuously; the period is only
+		// bounded below by the fact that some work must be done. Report the
+		// degenerate optimum.
+		return 0, mu > d+r
+	}
+	if mu <= d+r+cost/2 {
+		return math.Sqrt(2 * cost * math.Max(mu-d-r, 0)), false
+	}
+	return math.Sqrt(2 * cost * (mu - d - r)), true
+}
+
+// PeriodicFactor returns X(P) = (1 - cost/P)(1 - (D + R + P/2)/mu), the
+// fraction of platform time that progresses the application under periodic
+// checkpointing with period P (Equation (10)). The waste of the phase is
+// 1 - X. Values are clamped to [0, 1]: a non-positive X means the protocol
+// cannot progress at first order.
+func PeriodicFactor(period, cost, mu, d, r float64) float64 {
+	if period <= cost || mu <= 0 {
+		return 0
+	}
+	x := (1 - cost/period) * (1 - (d+r+period/2)/mu)
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// YoungPeriod returns Young's 1974 first-order approximation of the optimal
+// checkpoint period, P = sqrt(2*C*mu) (checkpoint duration excluded).
+func YoungPeriod(cost, mu float64) float64 {
+	return math.Sqrt(2 * cost * mu)
+}
+
+// DalyPeriod returns Daly's 2004 higher-order estimate of the optimum
+// checkpoint interval for restart dumps:
+//
+//	P = sqrt(2*C*(mu+D+R)) * [1 + (1/3)*sqrt(C/(2(mu+D+R))) + C/(9*2*(mu+D+R))] - C
+//
+// for C < 2(mu+D+R), and P = mu + D + R otherwise.
+func DalyPeriod(cost, mu, d, r float64) float64 {
+	m := mu + d + r
+	if cost >= 2*m {
+		return m
+	}
+	ratio := cost / (2 * m)
+	return math.Sqrt(2*cost*m)*(1+math.Sqrt(ratio)/3+ratio/9) - cost
+}

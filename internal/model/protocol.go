@@ -1,0 +1,257 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Protocol identifies one of the three fault-tolerance strategies compared in
+// the paper.
+type Protocol int
+
+const (
+	// PurePeriodicCkpt is traditional coordinated periodic checkpointing with
+	// a single period used throughout the execution (Figure 5).
+	PurePeriodicCkpt Protocol = iota
+	// BiPeriodicCkpt uses incremental checkpoints (cost CL) with their own
+	// optimal period during LIBRARY phases and full checkpoints elsewhere
+	// (Figure 6).
+	BiPeriodicCkpt
+	// AbftPeriodicCkpt is the composite protocol: ABFT during LIBRARY phases
+	// (periodic checkpointing disabled), periodic checkpointing during
+	// GENERAL phases, forced partial checkpoints at phase boundaries
+	// (Figure 2).
+	AbftPeriodicCkpt
+)
+
+// Protocols lists all protocols in presentation order.
+var Protocols = []Protocol{PurePeriodicCkpt, BiPeriodicCkpt, AbftPeriodicCkpt}
+
+func (p Protocol) String() string {
+	switch p {
+	case PurePeriodicCkpt:
+		return "PurePeriodicCkpt"
+	case BiPeriodicCkpt:
+		return "BiPeriodicCkpt"
+	case AbftPeriodicCkpt:
+		return "ABFT&PeriodicCkpt"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Options tunes protocol variants.
+type Options struct {
+	// Safeguard enables the Section III-B rule: if the projected duration of
+	// an ABFT-protected library call (phi*TL + CL) is shorter than the
+	// optimal periodic checkpointing interval, ABFT is not activated and the
+	// LIBRARY phase falls back to BiPeriodicCkpt-style protection.
+	Safeguard bool
+	// FixedPeriodG, when positive, overrides the optimal GENERAL-phase
+	// period (used by ablation studies evaluating suboptimal periods).
+	FixedPeriodG float64
+	// FixedPeriodL, when positive, overrides the optimal LIBRARY-phase
+	// period for BiPeriodicCkpt.
+	FixedPeriodL float64
+}
+
+// Result is the model's prediction for one protocol on one epoch.
+type Result struct {
+	Protocol Protocol
+	// Feasible is false when some first-order denominator is non-positive:
+	// failures strike faster than the protocol can recover, and the
+	// application cannot progress. TFinal is +Inf and Waste is 1 then.
+	Feasible bool
+	// TFinal is the expected epoch execution time with failures (Eq. 4/5/8).
+	TFinal float64
+	// Waste = 1 - T0/TFinal (Eq. 12), in [0,1].
+	Waste float64
+	// FaultFree is the failure-free execution time T_ff (Eqs. 1-3).
+	FaultFree float64
+	// TFinalG and TFinalL decompose TFinal into GENERAL and LIBRARY parts.
+	TFinalG, TFinalL float64
+	// PeriodG is the periodic-checkpointing period used in the GENERAL phase
+	// (0 when the phase is too short for periodic checkpointing).
+	PeriodG float64
+	// PeriodL is the period used in the LIBRARY phase (BiPeriodicCkpt, or
+	// composite with safeguard fallback; 0 otherwise).
+	PeriodL float64
+	// ExpectedFaults is TFinal/mu.
+	ExpectedFaults float64
+	// ABFTActive reports whether the LIBRARY phase actually ran under ABFT
+	// (false for non-composite protocols, or when the safeguard vetoed it).
+	ABFTActive bool
+}
+
+// phaseResult is the outcome of evaluating one phase of the epoch.
+type phaseResult struct {
+	faultFree float64
+	final     float64
+	period    float64
+	feasible  bool
+}
+
+// infeasiblePhase marks a phase that cannot complete at first order.
+func infeasiblePhase(faultFree float64) phaseResult {
+	return phaseResult{faultFree: faultFree, final: math.Inf(1), feasible: false}
+}
+
+// generalPhase evaluates a phase of duration tg protected by periodic
+// checkpointing with full-cost ckpt checkpoints, ending with a forced
+// trailing checkpoint of cost trailing when the phase is too short for
+// periodic checkpointing (Section IV-B1).
+//
+// When tg >= P_opt, the phase runs tg/(P-C) periods of length P and the last
+// periodic checkpoint replaces the trailing one (Eq. 1, 7, 10). Otherwise a
+// single trailing checkpoint is taken and a failure loses half the phase on
+// average (Eq. 6, 9).
+func generalPhase(tg, trailing, ckpt float64, p Params, fixedPeriod float64) phaseResult {
+	if tg == 0 && trailing == 0 {
+		return phaseResult{feasible: true}
+	}
+	period, ok := OptimalPeriod(ckpt, p.Mu, p.D, p.R)
+	if fixedPeriod > 0 {
+		period, ok = fixedPeriod, fixedPeriod > ckpt && p.Mu > p.D+p.R
+	}
+	if ok && tg >= period {
+		// Periodic regime: Eq. (10) at the chosen period.
+		x := PeriodicFactor(period, ckpt, p.Mu, p.D, p.R)
+		if x <= 0 {
+			return infeasiblePhase(tg)
+		}
+		return phaseResult{faultFree: tg / (period - ckpt) * period, final: tg / x, period: period, feasible: true}
+	}
+	// Short phase: no periodic checkpoints; single trailing checkpoint.
+	tff := tg + trailing
+	tlost := p.D + p.R + tff/2
+	denom := 1 - tlost/p.Mu
+	if denom <= 0 {
+		return infeasiblePhase(tff)
+	}
+	return phaseResult{faultFree: tff, final: tff / denom, feasible: true}
+}
+
+// libraryABFT evaluates the LIBRARY phase under ABFT protection (Eqs. 2, 8):
+// slowdown phi, forced exit checkpoint CL, and a per-failure cost of
+// D + RLbar + ReconsABFT (no work is re-executed: the dataset is rebuilt
+// from checksums).
+func libraryABFT(tl float64, p Params) phaseResult {
+	if tl == 0 {
+		return phaseResult{feasible: true}
+	}
+	tff := p.Phi*tl + p.CL()
+	tlost := p.D + p.EffectiveRLbar() + p.Recons
+	denom := 1 - tlost/p.Mu
+	if denom <= 0 {
+		return infeasiblePhase(tff)
+	}
+	return phaseResult{faultFree: tff, final: tff / denom, feasible: true}
+}
+
+// libraryBiPeriodic evaluates the LIBRARY phase under incremental periodic
+// checkpointing (Eqs. 13, 14): checkpoint cost CL, its own optimal period,
+// but full recovery cost R at rollback (the incremental checkpoints must be
+// combined with the last full one).
+func libraryBiPeriodic(tl float64, p Params, fixedPeriod float64) phaseResult {
+	if tl == 0 {
+		return phaseResult{feasible: true}
+	}
+	cl := p.CL()
+	period, ok := OptimalPeriod(cl, p.Mu, p.D, p.R)
+	if fixedPeriod > 0 {
+		period, ok = fixedPeriod, fixedPeriod > cl && p.Mu > p.D+p.R
+	}
+	if ok && tl >= period {
+		tff := tl / (period - cl) * period
+		tlost := p.D + p.R + period/2
+		denom := 1 - tlost/p.Mu
+		if denom <= 0 {
+			return infeasiblePhase(tff)
+		}
+		return phaseResult{faultFree: tff, final: tff / denom, period: period, feasible: true}
+	}
+	// Short library phase: trailing incremental checkpoint only.
+	tff := tl + cl
+	tlost := p.D + p.R + tff/2
+	denom := 1 - tlost/p.Mu
+	if denom <= 0 {
+		return infeasiblePhase(tff)
+	}
+	return phaseResult{faultFree: tff, final: tff / denom, feasible: true}
+}
+
+// Evaluate computes the model prediction for one protocol on one epoch.
+func Evaluate(proto Protocol, p Params, opts Options) Result {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	res := Result{Protocol: proto}
+	var g, l phaseResult
+	switch proto {
+	case PurePeriodicCkpt:
+		// Oblivious of phases: the whole epoch is one GENERAL phase with no
+		// trailing checkpoint requirement.
+		g = generalPhase(p.T0, 0, p.C, p, opts.FixedPeriodG)
+		l = phaseResult{feasible: true}
+	case BiPeriodicCkpt:
+		// GENERAL phase with full checkpoints; at the switch the state must
+		// be captured in full (the library phase saves only ML thereafter).
+		g = generalPhase(p.TG(), p.C, p.C, p, opts.FixedPeriodG)
+		l = libraryBiPeriodic(p.TL(), p, opts.FixedPeriodL)
+	case AbftPeriodicCkpt:
+		// Forced partial checkpoint CLbar at library entry (or absorbed into
+		// the last periodic checkpoint when the GENERAL phase is long).
+		g = generalPhase(p.TG(), p.CLbar(), p.C, p, opts.FixedPeriodG)
+		abftOn := true
+		if opts.Safeguard {
+			pg, ok := OptimalPeriod(p.C, p.Mu, p.D, p.R)
+			if ok && p.Phi*p.TL()+p.CL() < pg {
+				abftOn = false
+			}
+		}
+		if abftOn {
+			l = libraryABFT(p.TL(), p)
+			res.ABFTActive = p.TL() > 0
+		} else {
+			l = libraryBiPeriodic(p.TL(), p, opts.FixedPeriodL)
+		}
+	default:
+		panic(fmt.Sprintf("model: unknown protocol %v", proto))
+	}
+
+	res.PeriodG = g.period
+	res.PeriodL = l.period
+	res.FaultFree = g.faultFree + l.faultFree
+	res.Feasible = g.feasible && l.feasible
+	if !res.Feasible {
+		res.TFinal = math.Inf(1)
+		res.Waste = 1
+		res.ExpectedFaults = math.Inf(1)
+		return res
+	}
+	res.TFinalG = g.final
+	res.TFinalL = l.final
+	res.TFinal = g.final + l.final
+	if p.T0 > 0 {
+		res.Waste = 1 - p.T0/res.TFinal
+	}
+	if res.Waste < 0 {
+		res.Waste = 0
+	}
+	res.ExpectedFaults = res.TFinal / p.Mu
+	return res
+}
+
+// EvaluateAll runs Evaluate for every protocol.
+func EvaluateAll(p Params, opts Options) map[Protocol]Result {
+	out := make(map[Protocol]Result, len(Protocols))
+	for _, proto := range Protocols {
+		out[proto] = Evaluate(proto, p, opts)
+	}
+	return out
+}
+
+// Waste is a convenience wrapper returning only the waste of a protocol.
+func Waste(proto Protocol, p Params) float64 {
+	return Evaluate(proto, p, Options{}).Waste
+}

@@ -1,0 +1,75 @@
+package plot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple labeled table for experiment summaries (optimal-period
+// comparisons, ablation results, parity checks).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteCSV emits the table with a comment header.
+func (t *Table) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", t.Title)
+	fmt.Fprintln(bw, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		escaped := make([]string, len(row))
+		for i, c := range row {
+			escaped[i] = strings.ReplaceAll(c, ",", ";")
+		}
+		fmt.Fprintln(bw, strings.Join(escaped, ","))
+	}
+	return bw.Flush()
+}
+
+// Render returns an aligned plain-text rendering.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

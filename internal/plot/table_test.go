@@ -1,0 +1,71 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "periods", Columns: []string{"mu", "eq11", "young"}}
+	t.AddRow("3600", "1878", "2078")
+	t.AddRow("86400", "10176", "10182")
+	return t
+}
+
+func TestTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[1] != "mu,eq11,young" {
+		t.Errorf("header = %q", lines[1])
+	}
+	if lines[2] != "3600,1878,2078" {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestTableCSVEscapesCommas(t *testing.T) {
+	tab := &Table{Title: "x", Columns: []string{"a"}}
+	tab.AddRow("1,5")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Split(buf.String(), "\n")[2], "1,5") {
+		t.Error("comma not escaped")
+	}
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	out := sampleTable().Render()
+	if !strings.Contains(out, "periods") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(out, "\n")
+	// All data rows align: the second column starts at the same offset.
+	idx := strings.Index(lines[1], "eq11")
+	if idx < 0 {
+		t.Fatal("header column missing")
+	}
+	if lines[3][idx:idx+4] != "1878" {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestTableAddRowPads(t *testing.T) {
+	tab := &Table{Title: "x", Columns: []string{"a", "b", "c"}}
+	tab.AddRow("only")
+	if len(tab.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tab.Rows[0])
+	}
+	tab.AddRow("1", "2", "3", "4") // extra cell dropped
+	if len(tab.Rows[1]) != 3 {
+		t.Fatalf("row not truncated: %v", tab.Rows[1])
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"abftckpt/internal/dist"
+	"abftckpt/internal/model"
+	"abftckpt/internal/rng"
+)
+
+// The timeline-based and event-calendar-based simulators are independent
+// implementations of the same protocol semantics. On identical failure
+// traces they must agree exactly — bitwise — on makespan, fault count and
+// time breakdown, for every protocol and a wide range of scenarios.
+func TestDESEquivalenceExact(t *testing.T) {
+	scenarios := []model.Params{
+		model.Fig7Params(model.Hour, 0.2),
+		model.Fig7Params(model.Hour, 0.8),
+		model.Fig7Params(4*model.Hour, 0.5),
+		model.Fig7Params(30*model.Minute, 0.9), // hostile
+		{T0: 1000, Alpha: 0.5, Mu: 150, C: 20, R: 10, D: 5, Rho: 0.5, Phi: 1.1, Recons: 1},
+		{T0: 50, Alpha: 1, Mu: 200, C: 10, R: 10, D: 2, Rho: 0.8, Phi: 1.03, Recons: 2},
+		{T0: 500, Alpha: 0, Mu: 100, C: 5, R: 5, D: 1, Phi: 1},
+	}
+	for si, p := range scenarios {
+		for _, proto := range model.Protocols {
+			for seed := uint64(0); seed < 30; seed++ {
+				cfg := Config{Params: p, Protocol: proto, Epochs: 2}
+				mkSource := func() FailureSource {
+					return NewRenewalSource(dist.NewExponential(p.Mu), rng.New(rng.At(99, seed)))
+				}
+				a := SimulateOnce(cfg, mkSource())
+				b := SimulateOnceDES(cfg, mkSource())
+				if a.TFinal != b.TFinal || a.Faults != b.Faults {
+					t.Fatalf("scenario %d %v seed %d: timeline (T=%v, f=%d) vs DES (T=%v, f=%d)",
+						si, proto, seed, a.TFinal, a.Faults, b.TFinal, b.Faults)
+				}
+				if a.Breakdown != b.Breakdown {
+					t.Fatalf("scenario %d %v seed %d: breakdown %+v vs %+v",
+						si, proto, seed, a.Breakdown, b.Breakdown)
+				}
+				if a.Waste != b.Waste {
+					t.Fatalf("scenario %d %v seed %d: waste %v vs %v", si, proto, seed, a.Waste, b.Waste)
+				}
+			}
+		}
+	}
+}
+
+// The DES variant honors scripted failures the same way.
+func TestDESScriptedFailures(t *testing.T) {
+	cfg := Config{
+		Params:   model.Params{T0: 100, Alpha: 0, Mu: 1e12, C: 10, R: 5, D: 5, Phi: 1},
+		Protocol: model.PurePeriodicCkpt,
+	}
+	r := SimulateOnceDES(cfg, &scripted{times: []float64{50, 55}})
+	if r.TFinal != 165 || r.Faults != 2 {
+		t.Fatalf("TFinal=%v faults=%d, want 165, 2", r.TFinal, r.Faults)
+	}
+}
+
+// The DES variant also agrees with the analytical model on the Figure 7
+// scenario (sanity: it is not merely equal to the timeline version by both
+// being wrong in the same way about the trace; the model is a third,
+// independent derivation).
+func TestDESMatchesModel(t *testing.T) {
+	p := model.Fig7Params(4*model.Hour, 0.5)
+	want := model.Evaluate(model.AbftPeriodicCkpt, p, model.Options{}).Waste
+	var sum float64
+	const reps = 150
+	for seed := uint64(0); seed < reps; seed++ {
+		src := NewRenewalSource(dist.NewExponential(p.Mu), rng.New(rng.At(7, seed)))
+		sum += SimulateOnceDES(Config{Params: p, Protocol: model.AbftPeriodicCkpt}, src).Waste
+	}
+	got := sum / reps
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("DES waste %v vs model %v", got, want)
+	}
+}
+
+func BenchmarkSimulateOnceDES(b *testing.B) {
+	p := model.Fig7Params(2*model.Hour, 0.8)
+	cfg := Config{Params: p, Protocol: model.AbftPeriodicCkpt}
+	for i := 0; i < b.N; i++ {
+		src := NewRenewalSource(dist.NewExponential(p.Mu), rng.New(uint64(i)))
+		SimulateOnceDES(cfg, src)
+	}
+}

@@ -1,0 +1,414 @@
+// Package sim implements the discrete-event simulator of Section V-A: it
+// unfolds the three fault-tolerance protocols on randomly generated failure
+// traces and measures the actual execution time, including all the events the
+// first-order model neglects — failures during checkpoints, during recovery,
+// during downtime, and overlapping failures at small MTBF.
+//
+// The simulation is event-driven over a timeline: the next failure instant is
+// always known, every protocol action (work chunk, checkpoint, recovery) is
+// an interval on that timeline, and an action interrupted by a failure
+// triggers the protocol-specific reaction (rollback and re-execution for
+// checkpoint/rollback phases, checksum reconstruction for ABFT phases).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"abftckpt/internal/dist"
+	"abftckpt/internal/model"
+	"abftckpt/internal/rng"
+	"abftckpt/internal/stats"
+)
+
+// FailureSource produces the absolute times of platform failures.
+type FailureSource interface {
+	// NextAfter returns the time of the first failure strictly after t.
+	// Successive calls with non-decreasing t must return non-decreasing
+	// results consistent with a single failure realization.
+	NextAfter(t float64) float64
+}
+
+// RenewalSource is a renewal failure process: inter-arrival times are drawn
+// independently from a distribution. With an Exponential distribution this
+// is exactly the paper's failure model (a Poisson process with rate 1/MTBF).
+type RenewalSource struct {
+	dist dist.Distribution
+	src  *rng.Source
+	next float64
+}
+
+// NewRenewalSource creates a renewal process from d, drawing from src.
+func NewRenewalSource(d dist.Distribution, src *rng.Source) *RenewalSource {
+	r := &RenewalSource{dist: d, src: src}
+	r.next = d.Sample(src)
+	return r
+}
+
+// NextAfter returns the first failure time strictly after t.
+func (r *RenewalSource) NextAfter(t float64) float64 {
+	for r.next <= t {
+		r.next += r.dist.Sample(r.src)
+	}
+	return r.next
+}
+
+// Breakdown decomposes a run's wall-clock time by activity.
+type Breakdown struct {
+	// Work is the productive time: application progress that was kept.
+	Work float64
+	// Ckpt is time spent in checkpoints that completed.
+	Ckpt float64
+	// Lost is re-executed or rolled-back time: work and partial checkpoints
+	// destroyed by a failure, and partial recoveries that had to restart.
+	Lost float64
+	// Recovery is time spent in completed downtime+recovery (or downtime +
+	// remainder reload + ABFT reconstruction) operations.
+	Recovery float64
+}
+
+// Total returns the sum of all categories.
+func (b Breakdown) Total() float64 { return b.Work + b.Ckpt + b.Lost + b.Recovery }
+
+// RunResult is the outcome of simulating one complete application execution.
+type RunResult struct {
+	// TFinal is the simulated makespan.
+	TFinal float64
+	// Faults is the number of failures that struck during the run.
+	Faults int
+	// Waste is 1 - usefulTime/TFinal.
+	Waste float64
+	// Truncated reports that the run hit the safety cap before completing
+	// (the scenario is effectively infeasible).
+	Truncated bool
+	// Breakdown decomposes TFinal by activity.
+	Breakdown Breakdown
+}
+
+// Config describes a simulation campaign.
+type Config struct {
+	// Params are the per-epoch application/platform parameters.
+	Params model.Params
+	// Protocol selects the fault-tolerance strategy.
+	Protocol model.Protocol
+	// Epochs is the number of application epochs per run (default 1).
+	Epochs int
+	// Reps is the number of independent runs to aggregate (default 1000,
+	// the paper's repetition count).
+	Reps int
+	// Seed selects the failure-trace family; run i uses substream
+	// rng.At(Seed, i) so results are independent of execution order.
+	Seed uint64
+	// Distribution builds the failure inter-arrival distribution from the
+	// MTBF. Defaults to the exponential law of the paper.
+	Distribution func(mtbf float64) dist.Distribution
+	// Safeguard enables the Section III-B ABFT-activation rule.
+	Safeguard bool
+	// MaxTimeFactor caps a run at MaxTimeFactor*(Epochs*T0) to keep
+	// infeasible scenarios finite; default 10000.
+	MaxTimeFactor float64
+	// UseEventCalendar selects the internal/des event-calendar simulator
+	// (SimulateOnceDES) instead of the timeline walker. Both implement
+	// identical semantics (enforced by TestDESEquivalenceExact); this knob
+	// exists for cross-validation and benchmarking.
+	UseEventCalendar bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1000
+	}
+	if c.Distribution == nil {
+		c.Distribution = func(mtbf float64) dist.Distribution { return dist.NewExponential(mtbf) }
+	}
+	if c.MaxTimeFactor <= 0 {
+		c.MaxTimeFactor = 1e4
+	}
+	return c
+}
+
+// timeline advances simulated time against a failure source.
+type timeline struct {
+	now     float64
+	next    float64
+	source  FailureSource
+	faults  int
+	horizon float64 // safety cap
+	capped  bool
+}
+
+func newTimeline(src FailureSource, horizon float64) *timeline {
+	return &timeline{next: src.NextAfter(0), source: src, horizon: horizon}
+}
+
+// run attempts to execute an action of duration d. If no failure interrupts,
+// it advances time by d and reports success. Otherwise it advances to the
+// failure instant and returns the fraction of d that completed.
+func (t *timeline) run(d float64) (done float64, ok bool) {
+	if t.capped {
+		return 0, true // drain quickly once capped
+	}
+	if t.now+d <= t.next {
+		t.now += d
+		if t.now > t.horizon {
+			t.capped = true
+		}
+		return d, true
+	}
+	done = t.next - t.now
+	t.now = t.next
+	t.faults++
+	t.next = t.source.NextAfter(t.now)
+	if t.now > t.horizon {
+		t.capped = true
+		return done, true
+	}
+	return done, false
+}
+
+// recover completes one downtime+recovery operation of the given cost,
+// restarting it from scratch every time a failure interrupts it.
+func (t *timeline) recover(cost float64, b *Breakdown) {
+	for {
+		done, ok := t.run(cost)
+		if ok {
+			b.Recovery += done
+			return
+		}
+		b.Lost += done
+	}
+}
+
+// phaseKind selects the protection regime of one phase.
+type phaseKind int
+
+const (
+	phasePeriodic phaseKind = iota // periodic checkpoint + rollback
+	phaseShort                     // single work chunk + trailing checkpoint
+	phaseABFT                      // ABFT: forward recovery, no re-execution
+)
+
+// phaseSpec is one phase of an epoch with its protection parameters.
+type phaseSpec struct {
+	kind     phaseKind
+	work     float64 // fault-free work duration (already scaled by phi for ABFT)
+	period   float64 // checkpoint period (periodic only)
+	ckpt     float64 // periodic/exit checkpoint cost
+	trailing float64 // trailing checkpoint cost (short phases)
+	recovery float64 // downtime + reload (+ reconstruction for ABFT)
+}
+
+// simPhase executes one phase on the timeline.
+func simPhase(t *timeline, ph phaseSpec, b *Breakdown) {
+	switch ph.kind {
+	case phaseABFT:
+		remaining := ph.work
+		for remaining > 0 && !t.capped {
+			done, ok := t.run(remaining)
+			// ABFT retains progress: completed work counts even when a
+			// failure interrupted the attempt.
+			b.Work += done
+			remaining -= done
+			if !ok {
+				t.recover(ph.recovery, b)
+			}
+		}
+		// Exit checkpoint of the LIBRARY dataset; a failure during it is
+		// repaired by ABFT reconstruction and the checkpoint restarts.
+		for !t.capped {
+			done, ok := t.run(ph.ckpt)
+			if ok {
+				b.Ckpt += done
+				return
+			}
+			b.Lost += done
+			t.recover(ph.recovery, b)
+		}
+
+	case phaseShort:
+		// All-or-nothing: a failure loses all progress since phase start
+		// (there is no intermediate checkpoint), including the trailing
+		// checkpoint if it had begun.
+		for !t.capped {
+			done, ok := t.run(ph.work)
+			if !ok {
+				b.Lost += done
+				t.recover(ph.recovery, b)
+				continue
+			}
+			var cd float64
+			if ph.trailing > 0 {
+				var ckptOK bool
+				cd, ckptOK = t.run(ph.trailing)
+				if !ckptOK {
+					b.Lost += done + cd
+					t.recover(ph.recovery, b)
+					continue
+				}
+			}
+			b.Work += done
+			b.Ckpt += cd
+			return
+		}
+
+	case phasePeriodic:
+		workPerPeriod := ph.period - ph.ckpt
+		completed := 0.0
+		for completed < ph.work && !t.capped {
+			chunk := math.Min(workPerPeriod, ph.work-completed)
+			// Attempt chunk + checkpoint; on failure, roll back to the
+			// last completed checkpoint and retry the chunk.
+			done, ok := t.run(chunk)
+			if !ok {
+				b.Lost += done
+				t.recover(ph.recovery, b)
+				continue
+			}
+			cd, ckptOK := t.run(ph.ckpt)
+			if !ckptOK {
+				b.Lost += done + cd
+				t.recover(ph.recovery, b)
+				continue
+			}
+			b.Work += done
+			b.Ckpt += cd
+			completed += chunk
+		}
+
+	default:
+		panic(fmt.Sprintf("sim: unknown phase kind %d", ph.kind))
+	}
+}
+
+// epochPhases builds the phase sequence of one epoch for a protocol,
+// mirroring exactly the regime decisions of the analytical model.
+func epochPhases(proto model.Protocol, p model.Params, safeguard bool) []phaseSpec {
+	dr := p.D + p.R
+	abftRecovery := p.D + p.EffectiveRLbar() + p.Recons
+
+	// general phase under full periodic checkpointing, trailing checkpoint
+	// "trail" when the phase is shorter than the optimal period.
+	general := func(work, trail float64) phaseSpec {
+		period, ok := model.OptimalPeriod(p.C, p.Mu, p.D, p.R)
+		if ok && work >= period {
+			return phaseSpec{kind: phasePeriodic, work: work, period: period, ckpt: p.C, recovery: dr}
+		}
+		return phaseSpec{kind: phaseShort, work: work, trailing: trail, recovery: dr}
+	}
+	// library phase under incremental periodic checkpointing (Bi).
+	libraryBi := func(work float64) phaseSpec {
+		cl := p.CL()
+		period, ok := model.OptimalPeriod(cl, p.Mu, p.D, p.R)
+		if ok && work >= period {
+			return phaseSpec{kind: phasePeriodic, work: work, period: period, ckpt: cl, recovery: dr}
+		}
+		return phaseSpec{kind: phaseShort, work: work, trailing: cl, recovery: dr}
+	}
+
+	switch proto {
+	case model.PurePeriodicCkpt:
+		return []phaseSpec{general(p.T0, 0)}
+	case model.BiPeriodicCkpt:
+		phases := make([]phaseSpec, 0, 2)
+		if p.TG() > 0 {
+			phases = append(phases, general(p.TG(), p.C))
+		}
+		if p.TL() > 0 {
+			phases = append(phases, libraryBi(p.TL()))
+		}
+		return phases
+	case model.AbftPeriodicCkpt:
+		phases := make([]phaseSpec, 0, 2)
+		phases = append(phases, general(p.TG(), p.CLbar()))
+		if p.TL() > 0 {
+			abftOn := true
+			if safeguard {
+				pg, ok := model.OptimalPeriod(p.C, p.Mu, p.D, p.R)
+				if ok && p.Phi*p.TL()+p.CL() < pg {
+					abftOn = false
+				}
+			}
+			if abftOn {
+				phases = append(phases, phaseSpec{
+					kind: phaseABFT, work: p.Phi * p.TL(), ckpt: p.CL(), recovery: abftRecovery,
+				})
+			} else {
+				phases = append(phases, libraryBi(p.TL()))
+			}
+		}
+		return phases
+	default:
+		panic(fmt.Sprintf("sim: unknown protocol %v", proto))
+	}
+}
+
+// SimulateOnce executes one full application run against one failure trace.
+func SimulateOnce(cfg Config, source FailureSource) RunResult {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		panic(err)
+	}
+	useful := float64(cfg.Epochs) * cfg.Params.T0
+	t := newTimeline(source, cfg.MaxTimeFactor*math.Max(useful, 1))
+	var b Breakdown
+	phases := epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard)
+	for e := 0; e < cfg.Epochs && !t.capped; e++ {
+		for _, ph := range phases {
+			simPhase(t, ph, &b)
+		}
+	}
+	res := RunResult{TFinal: t.now, Faults: t.faults, Truncated: t.capped, Breakdown: b}
+	if t.capped {
+		res.Waste = 1
+	} else if t.now > 0 {
+		res.Waste = 1 - useful/t.now
+		if res.Waste < 0 {
+			res.Waste = 0
+		}
+	}
+	return res
+}
+
+// Aggregate summarizes a simulation campaign.
+type Aggregate struct {
+	Waste     stats.Summary
+	Faults    stats.Summary
+	TFinal    stats.Summary
+	Runs      int
+	Truncated int
+}
+
+// Simulate runs cfg.Reps independent executions and aggregates them. Each
+// repetition draws its failure trace from the substream rng.At(Seed, rep),
+// so results are reproducible and independent of evaluation order.
+func Simulate(cfg Config) Aggregate {
+	cfg = cfg.withDefaults()
+	var waste, faults, tfinal stats.Accumulator
+	truncated := 0
+	for rep := 0; rep < cfg.Reps; rep++ {
+		src := rng.New(rng.At(cfg.Seed, uint64(rep)))
+		fs := NewRenewalSource(cfg.Distribution(cfg.Params.Mu), src)
+		var r RunResult
+		if cfg.UseEventCalendar {
+			r = SimulateOnceDES(cfg, fs)
+		} else {
+			r = SimulateOnce(cfg, fs)
+		}
+		waste.Add(r.Waste)
+		faults.Add(float64(r.Faults))
+		tfinal.Add(r.TFinal)
+		if r.Truncated {
+			truncated++
+		}
+	}
+	return Aggregate{
+		Waste:     waste.Summarize(),
+		Faults:    faults.Summarize(),
+		TFinal:    tfinal.Summarize(),
+		Runs:      cfg.Reps,
+		Truncated: truncated,
+	}
+}

@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"abftckpt/internal/rng"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Variance()) || !math.IsNaN(a.Min()) {
+		t.Error("empty accumulator should report NaN")
+	}
+	a.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", a.Mean())
+	}
+	// population variance is 4; sample variance = 32/7
+	if math.Abs(a.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingleObservation(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Error("single observation stats wrong")
+	}
+	if !math.IsNaN(a.Variance()) || !math.IsNaN(a.CI95()) {
+		t.Error("variance of single observation should be NaN")
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	src := rng.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = src.Float64()*100 - 50
+	}
+	var whole Accumulator
+	whole.AddAll(xs)
+
+	var left, right Accumulator
+	left.AddAll(xs[:337])
+	right.AddAll(xs[337:])
+	left.Merge(&right)
+
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v vs %v", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("merged variance %v vs %v", left.Variance(), whole.Variance())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Error("merged min/max mismatch")
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	var a, empty Accumulator
+	a.AddAll([]float64{1, 2, 3})
+	before := a.Summarize()
+	a.Merge(&empty)
+	if a.Summarize() != before {
+		t.Error("merging empty changed state")
+	}
+	var b Accumulator
+	b.Merge(&a)
+	if b.Summarize() != before {
+		t.Error("merging into empty did not copy state")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	src := rng.New(2)
+	var small, large Accumulator
+	for i := 0; i < 100; i++ {
+		small.Add(src.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(src.NormFloat64())
+	}
+	if !(large.CI95() < small.CI95()) {
+		t.Errorf("CI95 did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.25, 3.25}, {0.75, 7.75},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("out-of-range q should be NaN")
+	}
+	if got := Quantile([]float64{42}, 0.99); got != 42 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	xs := []float64{5, 3, 8, 1, 9, 2, 7}
+	qs := []float64{0, 0.1, 0.5, 0.9, 1}
+	got := Quantiles(xs, qs...)
+	for i, q := range qs {
+		want := Quantile(xs, q)
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Errorf("Quantiles[%v] = %v, want %v", q, got[i], want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	h.Add(10) // boundary: belongs to overflow since range is [0,10)
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d count = %d, want 1", i, c)
+		}
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 13 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if math.Abs(h.BinCenter(0)-0.5) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for i := 0; i < 5; i++ {
+		h.Add(0.6)
+	}
+	h.Add(0.1)
+	if got := h.Mode(); math.Abs(got-0.625) > 1e-12 {
+		t.Errorf("mode = %v, want 0.625", got)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if !math.IsNaN(empty.Mode()) {
+		t.Error("empty histogram mode should be NaN")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewHistogram(0, 0, 4) },
+		func() { NewHistogram(1, 0, 4) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+// Property: merging any split of a sequence equals accumulating it whole.
+func TestQuickMergeEquivalence(t *testing.T) {
+	f := func(seed uint64, cutRaw uint8) bool {
+		src := rng.New(seed)
+		n := 100
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.NormFloat64() * 10
+		}
+		cut := int(cutRaw) % n
+		var whole, a, b Accumulator
+		whole.AddAll(xs)
+		a.AddAll(xs[:cut])
+		b.AddAll(xs[cut:])
+		a.Merge(&b)
+		return math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		xs := make([]float64, 37)
+		for i := range xs {
+			xs[i] = src.Float64() * 1000
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var a Accumulator
+	a.AddAll([]float64{1, 2, 3})
+	s := a.Summarize().String()
+	if s == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	var a Accumulator
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i))
+	}
+}

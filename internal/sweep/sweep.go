@@ -1,0 +1,157 @@
+// Package sweep runs parameter sweeps (grids and 1-D scans) in parallel
+// across a worker pool. Cells are independent; determinism is preserved by
+// addressing each cell's random stream with its indices (rng.At) rather than
+// by execution order.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major result grid: Rows x Cols float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("sweep: matrix dimensions must be positive")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the value at (row, col).
+func (m *Matrix) At(row, col int) float64 {
+	m.check(row, col)
+	return m.Data[row*m.Cols+col]
+}
+
+// Set stores v at (row, col).
+func (m *Matrix) Set(row, col int, v float64) {
+	m.check(row, col)
+	m.Data[row*m.Cols+col] = v
+}
+
+func (m *Matrix) check(row, col int) {
+	if row < 0 || row >= m.Rows || col < 0 || col >= m.Cols {
+		panic(fmt.Sprintf("sweep: index (%d,%d) out of %dx%d", row, col, m.Rows, m.Cols))
+	}
+}
+
+// MinMax returns the smallest and largest values in the matrix.
+func (m *Matrix) MinMax() (lo, hi float64) {
+	lo, hi = m.Data[0], m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Sub returns the element-wise difference m - other.
+func (m *Matrix) Sub(other *Matrix) *Matrix {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("sweep: dimension mismatch in Sub")
+	}
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - other.Data[i]
+	}
+	return out
+}
+
+// Grid is a rectangular parameter grid: Xs indexes columns, Ys rows.
+type Grid struct {
+	Xs, Ys []float64
+}
+
+// CellFunc computes the value of one grid cell. It receives both the integer
+// indices (for stream addressing) and the parameter values.
+type CellFunc func(row, col int, y, x float64) float64
+
+// Run evaluates f over every cell of g using `workers` goroutines
+// (runtime.NumCPU() when workers <= 0) and returns the len(Ys) x len(Xs)
+// result matrix.
+func Run(g Grid, workers int, f CellFunc) *Matrix {
+	if len(g.Xs) == 0 || len(g.Ys) == 0 {
+		panic("sweep: empty grid")
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	m := NewMatrix(len(g.Ys), len(g.Xs))
+	type job struct{ row, col int }
+	jobs := make(chan job, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				m.Set(j.row, j.col, f(j.row, j.col, g.Ys[j.row], g.Xs[j.col]))
+			}
+		}()
+	}
+	for row := range g.Ys {
+		for col := range g.Xs {
+			jobs <- job{row, col}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return m
+}
+
+// Scan evaluates f over a 1-D parameter list in parallel and returns the
+// values in input order.
+func Scan(xs []float64, workers int, f func(i int, x float64) float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	out := make([]float64, len(xs))
+	jobs := make(chan int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = f(i, xs[i])
+			}
+		}()
+	}
+	for i := range xs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		panic("sweep: Linspace needs n > 0")
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid FP drift at the endpoint
+	return out
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"abftckpt/internal/dist"
+	"abftckpt/internal/rng"
+)
+
+func TestGeneratePlatform(t *testing.T) {
+	src := rng.New(1)
+	tr := GeneratePlatform(dist.NewExponential(100), 100_000, src)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expect ~1000 events.
+	if n := len(tr.Events); n < 850 || n > 1150 {
+		t.Errorf("event count = %d, want ~1000", n)
+	}
+	if m := tr.EmpiricalMTBF(); math.Abs(m-100)/100 > 0.1 {
+		t.Errorf("empirical MTBF = %v, want ~100", m)
+	}
+}
+
+// Superposition of n exponential per-node processes has platform MTBF
+// mu_ind/n — the paper's mu = mu_ind/N relation.
+func TestGeneratePerNodeSuperposition(t *testing.T) {
+	src := rng.New(2)
+	const nodes, muInd, horizon = 50, 5000.0, 100_000.0
+	tr := GeneratePerNode(dist.NewExponential(muInd), nodes, horizon, src)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantMTBF := muInd / nodes // 100
+	if m := tr.EmpiricalMTBF(); math.Abs(m-wantMTBF)/wantMTBF > 0.1 {
+		t.Errorf("platform MTBF = %v, want ~%v", m, wantMTBF)
+	}
+	// All nodes should appear.
+	seen := make(map[int]bool)
+	for _, e := range tr.Events {
+		seen[e.Node] = true
+	}
+	if len(seen) < nodes*8/10 {
+		t.Errorf("only %d distinct nodes failed, want most of %d", len(seen), nodes)
+	}
+}
+
+func TestGeneratePerNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nodes=0")
+		}
+	}()
+	GeneratePerNode(dist.NewExponential(1), 0, 10, rng.New(1))
+}
+
+func TestSortAndValidate(t *testing.T) {
+	tr := &Trace{
+		Events:  []Event{{Time: 5, Node: 1}, {Time: 2, Node: 0}, {Time: 9, Node: 1}},
+		Horizon: 10, Nodes: 2,
+	}
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-order trace validated")
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		t.Errorf("sorted trace invalid: %v", err)
+	}
+	bad := &Trace{Events: []Event{{Time: 11, Node: 0}}, Horizon: 10, Nodes: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("event beyond horizon validated")
+	}
+	badNode := &Trace{Events: []Event{{Time: 1, Node: 7}}, Horizon: 10, Nodes: 2}
+	if err := badNode.Validate(); err == nil {
+		t.Error("invalid node id validated")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Trace{Events: []Event{{Time: 1, Node: 0}, {Time: 5, Node: 1}}, Horizon: 10, Nodes: 2}
+	b := &Trace{Events: []Event{{Time: 3, Node: 0}}, Horizon: 10, Nodes: 1}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != 3 || len(m.Events) != 3 {
+		t.Fatalf("merged: nodes=%d events=%d", m.Nodes, len(m.Events))
+	}
+	if m.Events[1].Time != 3 || m.Events[1].Node != 2 {
+		t.Errorf("merged middle event = %+v, want {3 2}", m.Events[1])
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge should error")
+	}
+	c := &Trace{Horizon: 99}
+	if _, err := Merge(a, c); err == nil {
+		t.Error("horizon mismatch should error")
+	}
+}
+
+func TestInterArrivalsAndWindow(t *testing.T) {
+	tr := &Trace{Events: []Event{{Time: 1}, {Time: 4}, {Time: 9}}, Horizon: 10, Nodes: 1}
+	gaps := tr.InterArrivals()
+	if len(gaps) != 2 || gaps[0] != 3 || gaps[1] != 5 {
+		t.Errorf("gaps = %v", gaps)
+	}
+	if got := tr.CountInWindow(0, 5); got != 2 {
+		t.Errorf("CountInWindow(0,5) = %d, want 2", got)
+	}
+	if got := tr.CountInWindow(4, 9); got != 1 {
+		t.Errorf("CountInWindow(4,9) = %d, want 1", got)
+	}
+	if got := tr.CountInWindow(9.5, 20); got != 0 {
+		t.Errorf("CountInWindow(9.5,20) = %d, want 0", got)
+	}
+	empty := &Trace{Horizon: 1}
+	if !math.IsNaN(empty.EmpiricalMTBF()) {
+		t.Error("empty trace MTBF should be NaN")
+	}
+	if empty.InterArrivals() != nil {
+		t.Error("empty trace gaps should be nil")
+	}
+}
+
+func TestSourceReplay(t *testing.T) {
+	tr := &Trace{Events: []Event{{Time: 2}, {Time: 5}, {Time: 5.5}}, Horizon: 10, Nodes: 1}
+	s := NewSource(tr, nil)
+	if got := s.NextAfter(0); got != 2 {
+		t.Errorf("NextAfter(0) = %v", got)
+	}
+	if got := s.NextAfter(2); got != 5 {
+		t.Errorf("NextAfter(2) = %v", got)
+	}
+	if got := s.NextAfter(5); got != 5.5 {
+		t.Errorf("NextAfter(5) = %v", got)
+	}
+	if got := s.NextAfter(6); !math.IsInf(got, 1) {
+		t.Errorf("NextAfter past end = %v, want +Inf", got)
+	}
+}
+
+func TestSourceExtension(t *testing.T) {
+	tr := &Trace{Events: []Event{{Time: 1}, {Time: 2}, {Time: 3}}, Horizon: 4, Nodes: 1}
+	s := NewSource(tr, rng.New(3))
+	next := s.NextAfter(3.5)
+	if math.IsInf(next, 1) || next <= 3.5 {
+		t.Errorf("extended source should keep failing: %v", next)
+	}
+	later := s.NextAfter(next)
+	if later <= next {
+		t.Errorf("extension not increasing: %v then %v", next, later)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	src := rng.New(4)
+	tr := GeneratePerNode(dist.NewExponential(500), 5, 10_000, src)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Horizon != tr.Horizon || back.Nodes != tr.Nodes || len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip mismatch: %v/%v events, horizon %v/%v",
+			len(back.Events), len(tr.Events), back.Horizon, tr.Horizon)
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != back.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, tr.Events[i], back.Events[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage\n",
+		"# horizon=10 nodes=1\ntime,node\nnotanumber,0\n",
+		"# horizon=10 nodes=1\ntime,node\n1.5,notanode\n",
+		"# horizon=10 nodes=1\ntime,node\n99,0\n", // beyond horizon
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// A generated trace replayed through Source drives the same failures as the
+// renewal process that generated it would (statistically: same count).
+func TestGeneratedTraceStatistics(t *testing.T) {
+	src := rng.New(5)
+	tr := GeneratePlatform(dist.WeibullWithMTBF(0.7, 200), 200_000, src)
+	if n := len(tr.Events); n < 800 || n > 1200 {
+		t.Errorf("weibull trace events = %d, want ~1000", n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package vproc
+
+import "fmt"
+
+// Checkpoint slot names used by the composite protocol.
+const (
+	SlotPeriodic = "periodic"    // full periodic checkpoint (GENERAL phase)
+	SlotEntry    = "entry"       // forced partial checkpoint of the REMAINDER dataset
+	SlotExit     = "library-out" // forced partial checkpoint of the LIBRARY dataset
+)
+
+// GeneralStep advances one process by one GENERAL-phase superstep. It must
+// be deterministic in (process state, step index) so rollback replay is
+// exact.
+type GeneralStep func(p *Proc, step int) error
+
+// Library is an ABFT-protectable library call: a fixed number of supersteps
+// over a dataset that Recover can rebuild from surviving redundancy after a
+// process failure.
+type Library interface {
+	// Steps returns the number of library supersteps.
+	Steps() int
+	// Step executes superstep s on the (consistent) current state.
+	Step(rt *Runtime, s int) error
+	// Recover rebuilds the failed rank's share of the LIBRARY dataset from
+	// the survivors' data and checksums (forward recovery: no rollback).
+	Recover(rt *Runtime, failedRank int) error
+}
+
+// Composite executes epochs under the ABFT&PeriodicCkpt protocol of
+// Section III: periodic coordinated checkpoints and rollback/replay while in
+// GENERAL phases; a forced partial checkpoint of the REMAINDER dataset at
+// library entry; ABFT forward recovery (plus REMAINDER reload from the entry
+// checkpoint) inside LIBRARY phases; and a forced partial checkpoint of the
+// LIBRARY dataset at exit. Entry and exit checkpoints together form the
+// split, but complete, coordinated checkpoint the next GENERAL phase rolls
+// back to.
+type Composite struct {
+	RT *Runtime
+	// CkptEvery takes a full periodic checkpoint every CkptEvery GENERAL
+	// supersteps (the discretized optimal period). Zero disables periodic
+	// checkpoints within phases (short-phase regime).
+	CkptEvery int
+	// RemainderDatasets are the dataset names outside the library call.
+	RemainderDatasets []string
+	// LibraryDatasets are the dataset names covered by ABFT.
+	LibraryDatasets []string
+
+	// periodicValid records that SlotPeriodic holds a checkpoint newer than
+	// the split base.
+	periodicValid bool
+}
+
+// allDatasets returns remainder+library names.
+func (c *Composite) allDatasets() []string {
+	out := append([]string(nil), c.RemainderDatasets...)
+	return append(out, c.LibraryDatasets...)
+}
+
+// Init captures the initial split checkpoint (remainder to the entry slot,
+// library data to the exit slot) so the first epoch has a rollback base.
+func (c *Composite) Init() error {
+	if err := c.RT.Checkpoint(SlotEntry, c.RemainderDatasets); err != nil {
+		return err
+	}
+	if err := c.RT.Checkpoint(SlotExit, c.LibraryDatasets); err != nil {
+		return err
+	}
+	c.RT.Stats.PartialCkpts += 2
+	return nil
+}
+
+// restoreBase rolls every process back to the most recent consistent state:
+// the last periodic checkpoint if one was taken since the split base,
+// otherwise the split checkpoint (entry remainder + exit library).
+func (c *Composite) restoreBase() error {
+	if c.periodicValid {
+		return c.RT.RestoreAll(SlotPeriodic, c.allDatasets())
+	}
+	if err := c.RT.RestoreAll(SlotEntry, c.RemainderDatasets); err != nil {
+		return err
+	}
+	return c.RT.RestoreAll(SlotExit, c.LibraryDatasets)
+}
+
+// RunGeneral executes `steps` GENERAL supersteps under periodic
+// checkpoint/rollback protection. On failure, every process is rolled back
+// to the last checkpoint and the lost supersteps are re-executed.
+func (c *Composite) RunGeneral(steps int, fn GeneralStep) error {
+	rt := c.RT
+	lastCkpt := 0 // first step not covered by the newest checkpoint
+	step := 0
+	for step < steps {
+		if victim := rt.Injector.next(rt.N()); victim >= 0 {
+			// Failure: downtime (respawn) + coordinated rollback.
+			rt.Stats.GeneralFails++
+			rt.Kill(victim)
+			rt.Respawn(victim)
+			if err := c.restoreBase(); err != nil {
+				return fmt.Errorf("vproc: rollback: %w", err)
+			}
+			rt.Stats.Rollbacks++
+			rt.Stats.ReplayedSteps += step - lastCkpt
+			step = lastCkpt
+			continue
+		}
+		s := step
+		if err := rt.Parallel(func(p *Proc) error { return fn(p, s) }); err != nil {
+			return err
+		}
+		rt.Stats.Supersteps++
+		step++
+		if c.CkptEvery > 0 && step < steps && (step-lastCkpt) >= c.CkptEvery {
+			if err := rt.Checkpoint(SlotPeriodic, c.allDatasets()); err != nil {
+				return err
+			}
+			rt.Stats.FullCkpts++
+			c.periodicValid = true
+			lastCkpt = step
+		}
+	}
+	return nil
+}
+
+// RunLibrary executes the library call under ABFT protection: periodic
+// checkpointing is disabled; a failure triggers respawn, reload of the
+// REMAINDER dataset from the entry checkpoint, and checksum reconstruction
+// of the LIBRARY dataset — after which the interrupted superstep is redone
+// on the consistent state. No completed library superstep is ever lost.
+func (c *Composite) RunLibrary(lib Library) error {
+	rt := c.RT
+	step := 0
+	for step < lib.Steps() {
+		if victim := rt.Injector.next(rt.N()); victim >= 0 {
+			rt.Stats.LibraryFails++
+			rt.Kill(victim)
+			rt.Respawn(victim)
+			if err := rt.Restore(SlotEntry, victim, c.RemainderDatasets); err != nil {
+				return fmt.Errorf("vproc: remainder reload: %w", err)
+			}
+			if err := lib.Recover(rt, victim); err != nil {
+				return fmt.Errorf("vproc: ABFT recovery: %w", err)
+			}
+			rt.Stats.AbftRecoveries++
+			continue // redo the interrupted superstep
+		}
+		if err := lib.Step(rt, step); err != nil {
+			return err
+		}
+		rt.Stats.Supersteps++
+		step++
+	}
+	return nil
+}
+
+// RunEpoch executes one full epoch: the GENERAL phase, the forced entry
+// checkpoint, the ABFT-protected LIBRARY phase, and the forced exit
+// checkpoint. Init (or a previous epoch) must have established the split
+// base.
+func (c *Composite) RunEpoch(generalSteps int, fn GeneralStep, lib Library) error {
+	if err := c.RunGeneral(generalSteps, fn); err != nil {
+		return err
+	}
+	// Forced partial checkpoint of the REMAINDER dataset (library entry).
+	if err := c.RT.Checkpoint(SlotEntry, c.RemainderDatasets); err != nil {
+		return err
+	}
+	c.RT.Stats.PartialCkpts++
+	if err := c.RunLibrary(lib); err != nil {
+		return err
+	}
+	// Forced partial checkpoint of the LIBRARY dataset (library exit).
+	if err := c.RT.Checkpoint(SlotExit, c.LibraryDatasets); err != nil {
+		return err
+	}
+	c.RT.Stats.PartialCkpts++
+	// The split base is now newer than any periodic checkpoint.
+	c.periodicValid = false
+	return nil
+}

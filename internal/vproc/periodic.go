@@ -1,0 +1,141 @@
+package vproc
+
+import "fmt"
+
+// Periodic slot names.
+const (
+	SlotEpochBase = "epoch-base" // full checkpoint at epoch start
+	SlotBiBase    = "bi-base"    // full checkpoint at library entry (Bi)
+	SlotBiLib     = "bi-lib"     // incremental library checkpoint (Bi)
+)
+
+// Periodic executes epochs under the rollback-only protocols the paper
+// compares against: PurePeriodicCkpt (full checkpoints at one period
+// throughout) and BiPeriodicCkpt (cheaper, library-dataset-only checkpoints
+// at their own period during LIBRARY phases — the incremental-checkpointing
+// optimization). Failures anywhere trigger rollback to the last checkpoint
+// and deterministic replay; the LIBRARY phase gets no ABFT help.
+type Periodic struct {
+	RT *Runtime
+	// CkptEvery is the checkpoint period, in supersteps, outside LIBRARY
+	// phases (and inside them too for the pure protocol).
+	CkptEvery int
+	// LibraryCkptEvery, when positive, switches the LIBRARY phase to its
+	// own period with partial (library-dataset-only) checkpoints — the
+	// BiPeriodicCkpt protocol. Zero keeps full checkpoints at CkptEvery
+	// everywhere (PurePeriodicCkpt).
+	LibraryCkptEvery int
+	// RemainderDatasets and LibraryDatasets partition the application data.
+	RemainderDatasets []string
+	LibraryDatasets   []string
+
+	// biLibValid records that SlotBiLib is newer than SlotBiBase.
+	biLibValid bool
+}
+
+func (c *Periodic) allDatasets() []string {
+	out := append([]string(nil), c.RemainderDatasets...)
+	return append(out, c.LibraryDatasets...)
+}
+
+func (c *Periodic) bi() bool { return c.LibraryCkptEvery > 0 }
+
+// RunEpoch executes one epoch (generalSteps GENERAL supersteps followed by
+// the library call) under the periodic protocol. The epoch starts with a
+// full coordinated checkpoint so rollback never crosses an epoch boundary.
+func (c *Periodic) RunEpoch(generalSteps int, fn GeneralStep, lib Library) error {
+	rt := c.RT
+	if err := rt.Checkpoint(SlotEpochBase, c.allDatasets()); err != nil {
+		return err
+	}
+	rt.Stats.FullCkpts++
+	total := generalSteps + lib.Steps()
+
+	// exec runs unified step s (general then library).
+	exec := func(s int) error {
+		if s < generalSteps {
+			step := s
+			return rt.Parallel(func(p *Proc) error { return fn(p, step) })
+		}
+		return lib.Step(rt, s-generalSteps)
+	}
+
+	lastCkpt := 0         // first step not covered by the newest checkpoint
+	slot := SlotEpochBase // newest full checkpoint slot
+	c.biLibValid = false
+	inLibrary := func(s int) bool { return s >= generalSteps }
+
+	// restore rolls back to the newest consistent state.
+	restore := func() error {
+		if c.bi() && c.biLibValid {
+			// Remainder from the library-entry base, library data from the
+			// newest incremental checkpoint.
+			if err := rt.RestoreAll(SlotBiBase, c.RemainderDatasets); err != nil {
+				return err
+			}
+			return rt.RestoreAll(SlotBiLib, c.LibraryDatasets)
+		}
+		return rt.RestoreAll(slot, c.allDatasets())
+	}
+
+	step := 0
+	for step < total {
+		if victim := rt.Injector.next(rt.N()); victim >= 0 {
+			if inLibrary(step) {
+				rt.Stats.LibraryFails++
+			} else {
+				rt.Stats.GeneralFails++
+			}
+			rt.Kill(victim)
+			rt.Respawn(victim)
+			if err := restore(); err != nil {
+				return fmt.Errorf("vproc: periodic rollback: %w", err)
+			}
+			rt.Stats.Rollbacks++
+			rt.Stats.ReplayedSteps += step - lastCkpt
+			step = lastCkpt
+			continue
+		}
+		if err := exec(step); err != nil {
+			return err
+		}
+		rt.Stats.Supersteps++
+		step++
+
+		// Bi: full checkpoint at the phase switch (the library base).
+		if c.bi() && step == generalSteps {
+			if err := rt.Checkpoint(SlotBiBase, c.allDatasets()); err != nil {
+				return err
+			}
+			rt.Stats.FullCkpts++
+			slot = SlotBiBase
+			c.biLibValid = false
+			lastCkpt = step
+			continue
+		}
+		if step >= total {
+			break
+		}
+		if c.bi() && inLibrary(step) {
+			if (step-lastCkpt) >= c.LibraryCkptEvery && step > generalSteps {
+				if err := rt.Checkpoint(SlotBiLib, c.LibraryDatasets); err != nil {
+					return err
+				}
+				rt.Stats.PartialCkpts++
+				c.biLibValid = true
+				lastCkpt = step
+			}
+			continue
+		}
+		if c.CkptEvery > 0 && (step-lastCkpt) >= c.CkptEvery {
+			if err := rt.Checkpoint(SlotPeriodic, c.allDatasets()); err != nil {
+				return err
+			}
+			rt.Stats.FullCkpts++
+			slot = SlotPeriodic
+			c.biLibValid = false
+			lastCkpt = step
+		}
+	}
+	return nil
+}

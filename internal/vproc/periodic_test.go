@@ -1,0 +1,128 @@
+package vproc
+
+import "testing"
+
+// seqLib is a deterministic library phase: each step doubles-and-increments
+// the shared value, so out-of-order or repeated execution is detectable.
+type seqLib struct{ steps int }
+
+func (l seqLib) Steps() int { return l.steps }
+func (l seqLib) Step(rt *Runtime, s int) error {
+	return rt.Parallel(func(p *Proc) error {
+		p.Data["l"][0] = p.Data["l"][0]*2 + float64(s)
+		return nil
+	})
+}
+func (l seqLib) Recover(rt *Runtime, failed int) error {
+	panic("periodic protocols must not call ABFT recovery")
+}
+
+func periodicFixture(inj *Injector, libEvery int) (*Runtime, *Periodic) {
+	rt := NewRuntime(2, newTestRuntime(1, nil).Store, inj)
+	for _, p := range rt.Procs {
+		p.Data["r"] = []float64{1}
+		p.Data["l"] = []float64{1}
+	}
+	return rt, &Periodic{
+		RT:                rt,
+		CkptEvery:         2,
+		LibraryCkptEvery:  libEvery,
+		RemainderDatasets: []string{"r"},
+		LibraryDatasets:   []string{"l"},
+	}
+}
+
+func generalInc(p *Proc, s int) error {
+	p.Data["r"][0] += float64(s + 1)
+	return nil
+}
+
+func runPeriodic(t *testing.T, inj *Injector, libEvery int) (*Runtime, []float64, []float64) {
+	t.Helper()
+	rt, c := periodicFixture(inj, libEvery)
+	if err := c.RunEpoch(4, generalInc, seqLib{steps: 5}); err != nil {
+		t.Fatal(err)
+	}
+	return rt, rt.Gather("r"), rt.Gather("l")
+}
+
+// Failure-free pure periodic run: reference values.
+func TestPeriodicFaultFree(t *testing.T) {
+	rt, r, l := runPeriodic(t, nil, 0)
+	// r: 1 +1+2+3+4 = 11; l: ((((1*2+0)*2+1)*2+2)*2+3)*2+4 = 58.
+	if r[0] != 11 || l[0] != 58 {
+		t.Fatalf("r=%v l=%v, want 11, 58", r[0], l[0])
+	}
+	if rt.Stats.Rollbacks != 0 {
+		t.Fatalf("stats: %+v", rt.Stats)
+	}
+}
+
+// Failures anywhere (general or library) roll back and replay, and the
+// result matches the failure-free run for both pure and bi protocols.
+func TestPeriodicFailuresPreserveResult(t *testing.T) {
+	for _, libEvery := range []int{0, 2} {
+		_, cleanR, cleanL := runPeriodic(t, nil, libEvery)
+		for counter := 0; counter < 9; counter++ {
+			inj := &Injector{Forced: map[int]int{counter: 1}}
+			rt, r, l := runPeriodic(t, inj, libEvery)
+			if r[0] != cleanR[0] || l[0] != cleanL[0] {
+				t.Fatalf("libEvery=%d failure@%d: r=%v l=%v, want %v, %v",
+					libEvery, counter, r[0], l[0], cleanR[0], cleanL[0])
+			}
+			if rt.Stats.Rollbacks != 1 || rt.Stats.Failures != 1 {
+				t.Fatalf("libEvery=%d failure@%d: stats %+v", libEvery, counter, rt.Stats)
+			}
+		}
+	}
+}
+
+// A failure inside the library phase under a periodic protocol must replay
+// library supersteps (contrast with the composite's forward recovery).
+func TestPeriodicLibraryFailureReplays(t *testing.T) {
+	// Counter 7 is library step 3 for pure periodic (4 general + library),
+	// one superstep past the checkpoint taken after library step 1.
+	inj := &Injector{Forced: map[int]int{7: 0}}
+	rt, _, _ := runPeriodic(t, inj, 0)
+	if rt.Stats.LibraryFails != 1 {
+		t.Fatalf("expected library failure: %+v", rt.Stats)
+	}
+	if rt.Stats.ReplayedSteps == 0 {
+		t.Fatalf("periodic protocol must replay lost library work: %+v", rt.Stats)
+	}
+	if rt.Stats.AbftRecoveries != 0 {
+		t.Fatalf("periodic protocol must not use ABFT: %+v", rt.Stats)
+	}
+}
+
+// BiPeriodic checkpoints less data than pure periodic on the same run: its
+// library-phase checkpoints save only the library dataset.
+func TestBiPeriodicSavesLessData(t *testing.T) {
+	rtPure, _, _ := runPeriodic(t, nil, 0)
+	rtBi, _, _ := runPeriodic(t, nil, 2)
+	if rtBi.Stats.PartialCkpts == 0 {
+		t.Fatalf("bi should take partial library checkpoints: %+v", rtBi.Stats)
+	}
+	// Same protection granularity (CkptEvery == LibraryCkptEvery == 2) but
+	// cheaper checkpoints during the library phase.
+	if rtBi.Stats.SavedValues >= rtPure.Stats.SavedValues {
+		t.Fatalf("bi saved %d values, pure saved %d — incremental checkpointing should cost less",
+			rtBi.Stats.SavedValues, rtPure.Stats.SavedValues)
+	}
+}
+
+// The bi protocol's rollback combines the library-entry base (remainder)
+// with the newest incremental checkpoint (library data).
+func TestBiPeriodicSplitRestore(t *testing.T) {
+	// Counter 7 = library step 3 (after the incremental ckpt at library
+	// step 2): replay must be short.
+	inj := &Injector{Forced: map[int]int{7: 1}}
+	_, cleanR, cleanL := runPeriodic(t, nil, 2)
+	rt, r, l := runPeriodic(t, inj, 2)
+	if r[0] != cleanR[0] || l[0] != cleanL[0] {
+		t.Fatalf("bi split restore diverged: r=%v l=%v", r[0], l[0])
+	}
+	if rt.Stats.ReplayedSteps > 2 {
+		t.Fatalf("incremental checkpoint should bound replay: %+v", rt.Stats)
+	}
+}
