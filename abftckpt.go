@@ -8,7 +8,10 @@
 //     protocols (PurePeriodicCkpt, BiPeriodicCkpt, ABFT&PeriodicCkpt) with
 //     optimal checkpoint periods and waste prediction;
 //   - the discrete-event protocol simulator used to validate the model,
-//     with exponential (and Weibull/LogNormal) failure processes;
+//     with parallel Monte-Carlo replicas and a catalogue of failure
+//     processes (exponential, Weibull, log-normal, gamma, and empirical
+//     replay of recorded inter-arrival samples), all normalizable to a
+//     common MTBF;
 //   - the weak-scaling scenario generators behind the paper's Figures 8-10;
 //   - the substrates a real composite deployment needs: ABFT-encoded dense
 //     linear algebra (checksummed GEMM and LU with single-failure
@@ -21,6 +24,7 @@
 package abftckpt
 
 import (
+	"abftckpt/internal/dist"
 	"abftckpt/internal/model"
 	"abftckpt/internal/sim"
 )
@@ -74,16 +78,44 @@ func OptimalPeriod(ckptCost, mtbf, downtime, recovery float64) (period float64, 
 	return model.OptimalPeriod(ckptCost, mtbf, downtime, recovery)
 }
 
+// Distribution is a failure inter-arrival law: Sample plus analytic Mean and
+// CDF (see internal/dist).
+type Distribution = dist.Distribution
+
+// The failure-process catalogue, re-exported so SimConfig.Distribution can
+// be populated from outside the module. Every constructor is normalized so
+// the mean inter-arrival time equals mtbf exactly, keeping scenarios with
+// different failure processes comparable at equal platform MTBF.
+
+// Exponential returns the paper's memoryless baseline failure law.
+func Exponential(mtbf float64) Distribution { return dist.NewExponential(mtbf) }
+
+// Weibull returns the Weibull law of the given shape k (k < 1: infant
+// mortality), scale solved so the mean equals mtbf.
+func Weibull(shape, mtbf float64) Distribution { return dist.WeibullWithMTBF(shape, mtbf) }
+
+// LogNormal returns the heavy-tailed log-normal law of the given sigma with
+// mean mtbf.
+func LogNormal(sigma, mtbf float64) Distribution { return dist.LogNormalWithMTBF(sigma, mtbf) }
+
+// GammaDist returns the gamma law of the given shape k with mean mtbf.
+func GammaDist(shape, mtbf float64) Distribution { return dist.GammaWithMTBF(shape, mtbf) }
+
+// EmpiricalDist replays recorded inter-arrival samples (e.g. gaps measured
+// from a cluster failure log) by uniform resampling.
+func EmpiricalDist(samples []float64) Distribution { return dist.NewEmpirical(samples) }
+
 // SimConfig configures a simulation campaign (see internal/sim for the
-// extended knobs: failure distributions, safeguard, caps).
+// extended knobs: failure distributions, worker count, safeguard, caps).
 type SimConfig = sim.Config
 
 // SimAggregate summarizes a simulation campaign.
 type SimAggregate = sim.Aggregate
 
 // Simulate runs the discrete-event simulator: Reps independent executions
-// of the protocol over random failure traces, aggregated with confidence
-// intervals.
+// of the protocol over random failure traces, run across a worker pool and
+// aggregated with confidence intervals. Results are bit-identical for any
+// worker count at a fixed seed.
 func Simulate(cfg SimConfig) SimAggregate {
 	return sim.Simulate(cfg)
 }

@@ -51,3 +51,42 @@ func TestFacadeScenarios(t *testing.T) {
 		t.Fatalf("fig9 alpha at 1M = %v", a)
 	}
 }
+
+func TestFacadeDistributions(t *testing.T) {
+	dists := []Distribution{
+		Exponential(100),
+		Weibull(0.7, 100),
+		LogNormal(1.2, 100),
+		GammaDist(2, 100),
+		EmpiricalDist([]float64{50, 100, 150}),
+	}
+	for _, d := range dists {
+		if got := d.Mean(); got != 100 {
+			t.Errorf("%v: Mean() = %v, want exactly 100", d, got)
+		}
+		if lo, hi := d.CDF(0), d.CDF(1e6); lo != 0 || hi < 0.99 {
+			t.Errorf("%v: CDF endpoints %v, %v", d, lo, hi)
+		}
+	}
+	// The re-exported constructors plug straight into a campaign.
+	p := Fig7Params(2*Hour, 0.5)
+	agg := Simulate(SimConfig{
+		Params: p, Protocol: AbftPeriodicCkpt, Reps: 30, Seed: 2,
+		Distribution: func(mtbf float64) Distribution { return Weibull(0.7, mtbf) },
+	})
+	if agg.Waste.Mean <= 0 || agg.Waste.Mean >= 1 {
+		t.Errorf("weibull campaign waste = %v", agg.Waste.Mean)
+	}
+}
+
+func TestFacadeSimulateWorkerInvariance(t *testing.T) {
+	p := Fig7Params(2*Hour, 0.5)
+	base := SimConfig{Params: p, Protocol: BiPeriodicCkpt, Reps: 24, Seed: 6}
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 8
+	if Simulate(serial) != Simulate(parallel) {
+		t.Error("facade Simulate not worker-count invariant")
+	}
+}

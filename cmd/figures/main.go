@@ -118,6 +118,8 @@ func main() {
 	saveTable(*out, "table_ablation_safeguard", figures.AblationSafeguard(anchor))
 	if !*skipSim {
 		saveTable(*out, "table_weibull", figures.WeibullSensitivity([]float64{0.5, 0.7, 1.0}, *reps, *seed))
+		saveTable(*out, "table_dist_sensitivity",
+			figures.DistributionSensitivity(figures.DefaultDistCases(), *reps, *seed))
 	}
 	fmt.Println("done:", *out)
 }

@@ -2,9 +2,16 @@
 // and prints the measured waste (with 95% confidence interval), fault
 // counts, and the analytical model's prediction for comparison.
 //
-// Example:
+// The failure process is selectable: -dist picks the family (exp, weibull,
+// lognormal, gamma) and -shape its shape parameter (Weibull/gamma k, or the
+// log-normal sigma); every family is normalized so the mean inter-arrival
+// time equals -mtbf.
+//
+// Examples:
 //
 //	ftsim -alpha 0.8 -mtbf 3600 -reps 1000 -protocol abft
+//	ftsim -alpha 0.8 -dist weibull -shape 0.7
+//	ftsim -dist lognormal -shape 1.5 -protocol all
 package main
 
 import (
@@ -47,7 +54,10 @@ func main() {
 	reps := flag.Int("reps", 1000, "independent runs to average")
 	epochs := flag.Int("epochs", 1, "epochs per run")
 	seed := flag.Uint64("seed", 42, "random seed")
-	weibull := flag.Float64("weibull", 0, "Weibull shape k (0 = exponential failures)")
+	workers := flag.Int("workers", 0, "replica worker goroutines (0 = all cores)")
+	distFlag := flag.String("dist", "exp", "failure distribution family (exp|weibull|lognormal|gamma)")
+	shape := flag.Float64("shape", 1, "shape parameter (weibull/gamma k, lognormal sigma)")
+	weibull := flag.Float64("weibull", 0, "deprecated: Weibull shape k (0 = use -dist/-shape)")
 	flag.Parse()
 
 	selected, err := parseProtocol(*protoFlag)
@@ -59,18 +69,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "invalid parameters:", err)
 		os.Exit(2)
 	}
+	family, shapeVal := *distFlag, *shape
+	if *weibull > 0 {
+		distSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "dist" || f.Name == "shape" {
+				distSet = true
+			}
+		})
+		if distSet {
+			fmt.Fprintln(os.Stderr, "cannot combine deprecated -weibull with -dist/-shape; use -dist weibull -shape k")
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "warning: -weibull is deprecated, use -dist weibull -shape k")
+		family, shapeVal = "weibull", *weibull
+	}
+	makeDist, err := dist.Family(family, shapeVal)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	protocols := model.Protocols
 	if selected >= 0 {
 		protocols = []model.Protocol{selected}
 	}
 	fmt.Println(p)
+	fmt.Println("failures:", makeDist(p.Mu))
 	fmt.Printf("%-22s %-18s %-10s %-12s %-10s\n", "protocol", "sim waste (±CI)", "model", "sim faults", "truncated")
 	for _, proto := range protocols {
-		cfg := sim.Config{Params: p, Protocol: proto, Reps: *reps, Epochs: *epochs, Seed: *seed}
-		if *weibull > 0 {
-			k := *weibull
-			cfg.Distribution = func(mtbf float64) dist.Distribution { return dist.WeibullWithMTBF(k, mtbf) }
+		cfg := sim.Config{
+			Params: p, Protocol: proto, Reps: *reps, Epochs: *epochs,
+			Seed: *seed, Workers: *workers, Distribution: makeDist,
 		}
 		agg := sim.Simulate(cfg)
 		pred := model.Evaluate(proto, p, model.Options{})

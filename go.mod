@@ -1,0 +1,3 @@
+module abftckpt
+
+go 1.24

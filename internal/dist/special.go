@@ -1,0 +1,73 @@
+package dist
+
+import "math"
+
+// regularizedGammaP computes P(a, x) = gamma(a, x) / Gamma(a), the
+// regularized lower incomplete gamma function, via the classic series
+// expansion for x < a+1 and the Lentz continued fraction for the complement
+// otherwise (Numerical Recipes 6.2). Accurate to ~1e-14 over the ranges the
+// simulator uses.
+func regularizedGammaP(a, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+// gammaSeries evaluates P(a, x) by its power series, convergent for x < a+1.
+func gammaSeries(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-16
+	)
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a, x) = 1 - P(a, x) by the modified
+// Lentz continued fraction, convergent for x >= a+1.
+func gammaContinuedFraction(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-16
+		tiny    = 1e-300
+	)
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h * math.Exp(-x+a*math.Log(x)-lg)
+}

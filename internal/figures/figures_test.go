@@ -239,3 +239,25 @@ func TestWeibullSensitivity(t *testing.T) {
 func fmtSscan(s string, v *float64) (int, error) {
 	return sscan(s, v)
 }
+
+func TestDistributionSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cases := DefaultDistCases()
+	tab := DistributionSensitivity(cases, 30, 5)
+	if len(tab.Rows) != len(cases) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(cases))
+	}
+	if tab.Rows[0][0] != "exponential" {
+		t.Fatalf("first row should be the exponential baseline, got %q", tab.Rows[0][0])
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			var v float64
+			if _, err := fmtSscan(cell, &v); err != nil || v <= 0 || v >= 1 {
+				t.Errorf("%s: implausible waste cell %q", row[0], cell)
+			}
+		}
+	}
+}

@@ -14,6 +14,9 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"abftckpt/internal/dist"
 	"abftckpt/internal/model"
@@ -99,8 +102,13 @@ type Config struct {
 	// Seed selects the failure-trace family; run i uses substream
 	// rng.At(Seed, i) so results are independent of execution order.
 	Seed uint64
+	// Workers bounds the number of goroutines Simulate uses to run replicas
+	// (0: GOMAXPROCS). Results are bit-identical for any worker count.
+	Workers int
 	// Distribution builds the failure inter-arrival distribution from the
-	// MTBF. Defaults to the exponential law of the paper.
+	// MTBF. Defaults to the exponential law of the paper. It is called once
+	// per replica, possibly from concurrent goroutines, so it must be
+	// safe for concurrent use (stateless constructors are).
 	Distribution func(mtbf float64) dist.Distribution
 	// Safeguard enables the Section III-B ABFT-activation rule.
 	Safeguard bool
@@ -372,42 +380,114 @@ func SimulateOnce(cfg Config, source FailureSource) RunResult {
 	return res
 }
 
-// Aggregate summarizes a simulation campaign.
+// Aggregate summarizes a simulation campaign. Every Summary carries the
+// sample mean, standard deviation and 95% confidence half-width, so
+// simulator-vs-model comparisons can assert statistically (|sim - model|
+// against Waste.CI95) instead of with ad-hoc tolerances.
 type Aggregate struct {
-	Waste     stats.Summary
-	Faults    stats.Summary
-	TFinal    stats.Summary
+	Waste  stats.Summary
+	Faults stats.Summary
+	TFinal stats.Summary
+	// Work, Ckpt, Lost and Recovery summarize the per-run wall-clock
+	// breakdown by activity (seconds).
+	Work      stats.Summary
+	Ckpt      stats.Summary
+	Lost      stats.Summary
+	Recovery  stats.Summary
 	Runs      int
 	Truncated int
 }
 
-// Simulate runs cfg.Reps independent executions and aggregates them. Each
-// repetition draws its failure trace from the substream rng.At(Seed, rep),
-// so results are reproducible and independent of evaluation order.
+// replica executes repetition rep of the campaign on its own substream.
+func replica(cfg Config, rep int) RunResult {
+	src := rng.New(rng.At(cfg.Seed, uint64(rep)))
+	fs := NewRenewalSource(cfg.Distribution(cfg.Params.Mu), src)
+	if cfg.UseEventCalendar {
+		return SimulateOnceDES(cfg, fs)
+	}
+	return SimulateOnce(cfg, fs)
+}
+
+// Simulate runs cfg.Reps independent executions across a worker pool and
+// aggregates them. Each repetition draws its failure trace from the substream
+// rng.At(Seed, rep) — addressed by repetition index, not by worker — and the
+// per-run results are reduced sequentially in repetition order, so the
+// aggregate is reproducible bit-for-bit regardless of cfg.Workers and of
+// scheduling order.
 func Simulate(cfg Config) Aggregate {
 	cfg = cfg.withDefaults()
-	var waste, faults, tfinal stats.Accumulator
+	if err := cfg.Params.Validate(); err != nil {
+		panic(err)
+	}
+	// Probe the distribution constructor and the phase builder once up
+	// front: a misconfigured distribution (e.g. non-positive shape) or an
+	// unknown protocol panics here on the caller's goroutine, where it is
+	// recoverable, instead of inside a worker.
+	if d := cfg.Distribution(cfg.Params.Mu); d == nil {
+		panic("sim: Config.Distribution returned nil")
+	}
+	epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Reps {
+		workers = cfg.Reps
+	}
+	// Replicas are processed in bounded blocks — parallel fill, then a
+	// sequential reduce in repetition order — so memory stays O(blockSize)
+	// for arbitrarily large campaigns. Floating-point accumulation is
+	// order-dependent; the ordered reduce keeps the aggregate independent of
+	// the worker count and of which worker ran which replica.
+	const blockSize = 4096
+	results := make([]RunResult, min(cfg.Reps, blockSize))
+	var waste, faults, tfinal, work, ckpt, lost, recovery stats.Accumulator
 	truncated := 0
-	for rep := 0; rep < cfg.Reps; rep++ {
-		src := rng.New(rng.At(cfg.Seed, uint64(rep)))
-		fs := NewRenewalSource(cfg.Distribution(cfg.Params.Mu), src)
-		var r RunResult
-		if cfg.UseEventCalendar {
-			r = SimulateOnceDES(cfg, fs)
+	for base := 0; base < cfg.Reps; base += len(results) {
+		n := min(len(results), cfg.Reps-base)
+		if workers <= 1 {
+			for i := 0; i < n; i++ {
+				results[i] = replica(cfg, base+i)
+			}
 		} else {
-			r = SimulateOnce(cfg, fs)
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+						results[i] = replica(cfg, base+i)
+					}
+				}()
+			}
+			wg.Wait()
 		}
-		waste.Add(r.Waste)
-		faults.Add(float64(r.Faults))
-		tfinal.Add(r.TFinal)
-		if r.Truncated {
-			truncated++
+		for _, r := range results[:n] {
+			waste.Add(r.Waste)
+			faults.Add(float64(r.Faults))
+			tfinal.Add(r.TFinal)
+			work.Add(r.Breakdown.Work)
+			ckpt.Add(r.Breakdown.Ckpt)
+			lost.Add(r.Breakdown.Lost)
+			recovery.Add(r.Breakdown.Recovery)
+			if r.Truncated {
+				truncated++
+			}
 		}
 	}
 	return Aggregate{
 		Waste:     waste.Summarize(),
 		Faults:    faults.Summarize(),
 		TFinal:    tfinal.Summarize(),
+		Work:      work.Summarize(),
+		Ckpt:      ckpt.Summarize(),
+		Lost:      lost.Summarize(),
+		Recovery:  recovery.Summarize(),
 		Runs:      cfg.Reps,
 		Truncated: truncated,
 	}

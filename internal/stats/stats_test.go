@@ -264,3 +264,39 @@ func BenchmarkAccumulatorAdd(b *testing.B) {
 		a.Add(float64(i))
 	}
 }
+
+func TestKolmogorovSmirnovHandComputed(t *testing.T) {
+	// Samples {0.1, 0.5, 0.9} against the uniform CDF on [0,1]:
+	// at 0.1 the ECDF jumps 0->1/3 (max dev |0.1-0|),
+	// at 0.5 it jumps 1/3->2/3 (max dev |0.5-1/3|),
+	// at 0.9 it jumps 2/3->1 (max dev |0.9-2/3| = 0.2333...).
+	uniform := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	d := KolmogorovSmirnov([]float64{0.5, 0.1, 0.9}, uniform)
+	want := 0.9 - 2.0/3
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("KS = %v, want %v", d, want)
+	}
+	if !math.IsNaN(KolmogorovSmirnov(nil, uniform)) {
+		t.Error("empty input should be NaN")
+	}
+	// A sample far outside the support saturates the statistic at ~1.
+	if d := KolmogorovSmirnov([]float64{5}, uniform); d != 1 {
+		t.Errorf("KS of impossible sample = %v, want 1", d)
+	}
+}
+
+func TestKolmogorovSmirnovDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	KolmogorovSmirnov(xs, func(x float64) float64 { return x / 4 })
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input reordered: %v", xs)
+	}
+}

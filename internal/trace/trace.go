@@ -74,8 +74,26 @@ func GeneratePerNode(d dist.Distribution, nodes int, horizon float64, src *rng.S
 	if nodes <= 0 {
 		panic("trace: nodes must be positive")
 	}
-	t := &Trace{Horizon: horizon, Nodes: nodes}
-	for node := 0; node < nodes; node++ {
+	dists := make([]dist.Distribution, nodes)
+	for i := range dists {
+		dists[i] = d
+	}
+	return GenerateHeterogeneous(dists, horizon, src)
+}
+
+// GenerateHeterogeneous draws one renewal process per node, node i with its
+// own inter-arrival distribution dists[i], and superposes them into a single
+// platform trace. This models heterogeneous failure processes — e.g. a batch
+// of infant-mortality nodes (Weibull shape < 1) installed next to burnt-in
+// exponential ones — which no single platform-level renewal process can
+// express. The platform failure rate is the sum of the per-node rates
+// 1/dists[i].Mean().
+func GenerateHeterogeneous(dists []dist.Distribution, horizon float64, src *rng.Source) *Trace {
+	if len(dists) == 0 {
+		panic("trace: GenerateHeterogeneous needs at least one node")
+	}
+	t := &Trace{Horizon: horizon, Nodes: len(dists)}
+	for node, d := range dists {
 		nodeSrc := src.Split()
 		for now := d.Sample(nodeSrc); now < horizon; now += d.Sample(nodeSrc) {
 			t.Events = append(t.Events, Event{Time: now, Node: node})

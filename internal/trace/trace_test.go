@@ -204,3 +204,67 @@ func TestGeneratedTraceStatistics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Heterogeneous per-node processes superpose additively: a platform mixing
+// fast-failing and slow-failing nodes has failure rate equal to the sum of
+// the per-node rates, and every node class contributes events.
+func TestGenerateHeterogeneous(t *testing.T) {
+	src := rng.New(6)
+	const horizon = 200_000.0
+	// 4 infant-mortality nodes at MTBF 1000 plus 8 healthy nodes at MTBF
+	// 8000: total rate 4/1000 + 8/8000 = 0.005, platform MTBF 200.
+	dists := make([]dist.Distribution, 0, 12)
+	for i := 0; i < 4; i++ {
+		dists = append(dists, dist.WeibullWithMTBF(0.7, 1000))
+	}
+	for i := 0; i < 8; i++ {
+		dists = append(dists, dist.NewExponential(8000))
+	}
+	tr := GenerateHeterogeneous(dists, horizon, src)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 12 {
+		t.Fatalf("nodes = %d", tr.Nodes)
+	}
+	if m := tr.EmpiricalMTBF(); math.Abs(m-200)/200 > 0.1 {
+		t.Errorf("platform MTBF = %v, want ~200", m)
+	}
+	// The flaky minority should contribute the majority of events (rate
+	// 0.004 of 0.005 total).
+	flaky := 0
+	for _, e := range tr.Events {
+		if e.Node < 4 {
+			flaky++
+		}
+	}
+	if frac := float64(flaky) / float64(len(tr.Events)); frac < 0.7 || frac > 0.9 {
+		t.Errorf("flaky-node event fraction = %v, want ~0.8", frac)
+	}
+}
+
+func TestGenerateHeterogeneousPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty distribution list")
+		}
+	}()
+	GenerateHeterogeneous(nil, 10, rng.New(1))
+}
+
+// A recorded trace's inter-arrival gaps replayed through dist.Empirical
+// reproduce the trace's failure statistics: the loop closing trace capture
+// with scenario-diverse resimulation.
+func TestEmpiricalDistributionFromTrace(t *testing.T) {
+	src := rng.New(8)
+	tr := GeneratePlatform(dist.WeibullWithMTBF(0.7, 300), 300_000, src)
+	emp := dist.NewEmpirical(tr.InterArrivals())
+	if m := emp.Mean(); math.Abs(m-tr.EmpiricalMTBF())/tr.EmpiricalMTBF() > 1e-9 {
+		t.Fatalf("empirical mean %v != trace MTBF %v", m, tr.EmpiricalMTBF())
+	}
+	// Regenerating from the empirical law preserves the platform MTBF.
+	re := GeneratePlatform(emp, 300_000, rng.New(9))
+	if m := re.EmpiricalMTBF(); math.Abs(m-emp.Mean())/emp.Mean() > 0.1 {
+		t.Errorf("replayed MTBF %v, want ~%v", m, emp.Mean())
+	}
+}
