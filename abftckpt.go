@@ -24,8 +24,11 @@
 package abftckpt
 
 import (
+	"io"
+
 	"abftckpt/internal/dist"
 	"abftckpt/internal/model"
+	"abftckpt/internal/scenario"
 	"abftckpt/internal/sim"
 )
 
@@ -135,3 +138,38 @@ type WeakScaling = model.WeakScaling
 func Fig8Scenario() WeakScaling  { return model.Fig8Scenario(model.ScaleConstant) }
 func Fig9Scenario() WeakScaling  { return model.Fig9Scenario(model.ScaleLinear) }
 func Fig10Scenario() WeakScaling { return model.Fig10Scenario() }
+
+// Campaign is a declarative scenario campaign: a named list of scenario
+// specs (platform, protocol, failure law, sweep axes, replica count, seed —
+// all durations in seconds) that the engine expands into content-addressed
+// cells. See internal/scenario and the JSON schema in README.md.
+type Campaign = scenario.Campaign
+
+// CampaignSpec declares one scenario of a campaign.
+type CampaignSpec = scenario.Spec
+
+// CampaignRunner executes campaigns with an optional on-disk cell cache;
+// rerunning an unchanged campaign re-executes zero cells.
+type CampaignRunner = scenario.Runner
+
+// CampaignReport summarizes a campaign run: cell counts (total, unique,
+// cached, executed) and the finished artifacts in campaign order.
+type CampaignReport = scenario.Report
+
+// CampaignArtifact is one finished campaign output (heatmap, chart or
+// table) with CSV, ASCII and gnuplot renderings.
+type CampaignArtifact = scenario.Artifact
+
+// LoadCampaign parses and validates a campaign from its JSON form. Unknown
+// fields are rejected so typos fail loudly.
+func LoadCampaign(r io.Reader) (*Campaign, error) { return scenario.Load(r) }
+
+// LoadCampaignFile reads and validates a campaign file.
+func LoadCampaignFile(path string) (*Campaign, error) { return scenario.LoadFile(path) }
+
+// RunCampaign executes a campaign with the given cell cache directory
+// (empty disables caching) and returns the report with all artifacts.
+func RunCampaign(c *Campaign, cacheDir string) (*CampaignReport, error) {
+	r := scenario.Runner{CacheDir: cacheDir}
+	return r.Run(c)
+}

@@ -90,3 +90,26 @@ func TestFacadeSimulateWorkerInvariance(t *testing.T) {
 		t.Error("facade Simulate not worker-count invariant")
 	}
 }
+
+func TestFacadeCampaign(t *testing.T) {
+	c, err := LoadCampaignFile("examples/campaigns/quickstart.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run only the analytic scenarios to keep the facade test fast.
+	var fast []*CampaignSpec
+	for _, s := range c.Scenarios {
+		switch s.Name {
+		case "periods", "parity":
+			fast = append(fast, s)
+		}
+	}
+	c.Scenarios = fast
+	rep, err := RunCampaign(c, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Artifacts) != 2 || rep.Executed == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}

@@ -2,124 +2,66 @@
 // evaluation section into an output directory: CSV data, ASCII renderings,
 // and gnuplot scripts. See EXPERIMENTS.md for the paper-vs-measured record.
 //
+// Since the scenario-engine refactor this command is a thin driver: it
+// builds figures.PaperCampaign (the whole Section V evaluation as scenario
+// specs) and runs it through the internal/scenario engine. With -cache the
+// engine reuses every cell it has already computed, so reruns are
+// incremental. cmd/ftcampaign runs the same engine on arbitrary JSON
+// campaign files.
+//
 // Example:
 //
-//	figures -out out -reps 200
+//	figures -out out -reps 200 -cache .ftcache
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"abftckpt/internal/figures"
-	"abftckpt/internal/model"
-	"abftckpt/internal/plot"
+	"abftckpt/internal/scenario"
 )
 
-func writeFile(dir, name, content string) {
-	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "write:", err)
-		os.Exit(1)
-	}
-}
-
-func saveHeatmap(dir, base string, h *plot.Heatmap, lo, hi float64) {
-	f, err := os.Create(filepath.Join(dir, base+".csv"))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := h.WriteCSV(f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	f.Close()
-	writeFile(dir, base+".txt", h.RenderASCII(lo, hi))
-	writeFile(dir, base+".gp", h.GnuplotScript(base+".csv", base+".png"))
-	fmt.Println("wrote", base)
-}
-
-func saveChart(dir, base string, c *plot.LineChart) {
-	f, err := os.Create(filepath.Join(dir, base+".csv"))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := c.WriteCSV(f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	f.Close()
-	writeFile(dir, base+".txt", c.RenderASCII(72, 20))
-	writeFile(dir, base+".gp", c.GnuplotScript(base+".csv", base+".png"))
-	fmt.Println("wrote", base)
-}
-
-func saveTable(dir, base string, t *plot.Table) {
-	f, err := os.Create(filepath.Join(dir, base+".csv"))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := t.WriteCSV(f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	f.Close()
-	writeFile(dir, base+".txt", t.Render())
-	fmt.Println("wrote", base)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func main() {
 	out := flag.String("out", "out", "output directory")
-	reps := flag.Int("reps", 100, "simulator runs per Figure 7 cell (paper: 1000)")
+	reps := flag.Int("reps", 100, "simulator runs per simulation cell (paper: 1000)")
 	seed := flag.Uint64("seed", 42, "random seed")
-	skipSim := flag.Bool("model-only", false, "skip the simulation-based difference heatmaps")
+	skipSim := flag.Bool("model-only", false, "skip the simulation-based heatmaps and tables")
+	cache := flag.String("cache", "", "cell cache directory (empty: no caching)")
+	workers := flag.Int("workers", 0, "cell-level parallelism (0: NumCPU)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-
-	// Figure 7: model heatmaps and sim-model difference heatmaps.
-	letters := map[model.Protocol]struct{ modelFig, diffFig string }{
-		model.PurePeriodicCkpt: {"fig7a_pure_model", "fig7b_pure_diff"},
-		model.BiPeriodicCkpt:   {"fig7c_bi_model", "fig7d_bi_diff"},
-		model.AbftPeriodicCkpt: {"fig7e_abft_model", "fig7f_abft_diff"},
+	campaign := figures.PaperCampaign(*reps, *seed, !*skipSim)
+	var writeErr error
+	runner := scenario.Runner{
+		CacheDir: *cache,
+		Workers:  *workers,
+		OnArtifact: func(a scenario.Artifact) {
+			if _, err := a.WriteFiles(*out); err != nil {
+				if writeErr == nil {
+					writeErr = err
+				}
+				return
+			}
+			fmt.Println("wrote", a.Name)
+		},
 	}
-	for _, proto := range model.Protocols {
-		cfg := figures.Fig7Config{Protocol: proto, Reps: *reps, Seed: *seed}
-		saveHeatmap(*out, letters[proto].modelFig, figures.Fig7Model(cfg), 0, 1)
-		if !*skipSim {
-			saveHeatmap(*out, letters[proto].diffFig, figures.Fig7Diff(cfg), -0.14, 0.14)
-		}
+	report, err := runner.Run(campaign)
+	if err != nil {
+		fatal(err)
 	}
-
-	// Figures 8-10: weak-scaling charts (waste + expected faults).
-	nodes := model.DefaultNodeCounts()
-	w8, f8 := figures.Fig8(nodes)
-	saveChart(*out, "fig8_waste", w8)
-	saveChart(*out, "fig8_faults", f8)
-	w9, f9 := figures.Fig9(nodes)
-	saveChart(*out, "fig9_waste", w9)
-	saveChart(*out, "fig9_faults", f9)
-	w10, f10 := figures.Fig10(nodes)
-	saveChart(*out, "fig10_waste", w10)
-	saveChart(*out, "fig10_faults", f10)
-
-	// Tables: parity check, period comparison, ablations, sensitivity.
-	saveTable(*out, "table_fig10_parity", figures.Fig10ParityTable())
-	saveTable(*out, "table_periods", figures.PeriodTable())
-	anchor := []float64{1_000, 10_000, 100_000, 1_000_000}
-	saveTable(*out, "table_ablation_epochs", figures.AblationEpochAggregation(anchor))
-	saveTable(*out, "table_ablation_safeguard", figures.AblationSafeguard(anchor))
-	if !*skipSim {
-		saveTable(*out, "table_weibull", figures.WeibullSensitivity([]float64{0.5, 0.7, 1.0}, *reps, *seed))
-		saveTable(*out, "table_dist_sensitivity",
-			figures.DistributionSensitivity(figures.DefaultDistCases(), *reps, *seed))
+	if writeErr != nil {
+		fatal(writeErr)
 	}
-	fmt.Println("done:", *out)
+	fmt.Printf("done: %s (%d cells, %d unique, %d cached, %d executed)\n",
+		*out, report.Cells, report.Unique, report.CacheHits, report.Executed)
 }

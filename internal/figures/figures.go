@@ -1,7 +1,9 @@
-// Package figures regenerates every table and figure of the paper's
-// evaluation section (Section V) from the analytical model and the
-// simulator. It is shared by cmd/figures and by the benchmark harness in the
-// repository root.
+// Package figures expresses every table and figure of the paper's
+// evaluation section (Section V) as declarative scenario specs executed by
+// the internal/scenario campaign engine. Nothing here computes results
+// directly: each function builds a Spec, and PaperCampaign collects the
+// whole evaluation into one Campaign that cmd/figures (and, from a JSON
+// file, cmd/ftcampaign) runs through the engine.
 //
 // Parameter choices that the paper leaves ambiguous (notably the
 // checkpoint-cost scaling of Figures 8-10, whose stated form is infeasible
@@ -11,14 +13,10 @@ package figures
 
 import (
 	"fmt"
-	"math"
 
-	"abftckpt/internal/dist"
 	"abftckpt/internal/model"
 	"abftckpt/internal/plot"
-	"abftckpt/internal/rng"
-	"abftckpt/internal/sim"
-	"abftckpt/internal/sweep"
+	"abftckpt/internal/scenario"
 )
 
 // Fig7Config parameterizes the Figure 7 heatmaps.
@@ -26,159 +24,112 @@ type Fig7Config struct {
 	// Protocol selects the column of Figure 7 (a/b: Pure, c/d: Bi, e/f:
 	// composite).
 	Protocol model.Protocol
-	// MTBFMinutes is the x axis (paper: 60 to 240 minutes).
+	// MTBFMinutes is the x axis in minutes (paper: 60 to 240 minutes).
 	MTBFMinutes []float64
-	// Alphas is the y axis (paper: 0 to 1).
+	// Alphas is the y axis, a fraction of work in [0, 1] (paper: 0 to 1).
 	Alphas []float64
 	// Reps is the number of simulator runs per cell for the difference
 	// heatmap (paper: 1000).
 	Reps int
 	// Seed addresses the failure-trace streams.
 	Seed uint64
-	// Workers bounds sweep parallelism (0: NumCPU).
+	// Workers bounds engine parallelism (0: NumCPU).
 	Workers int
 }
 
-func (c Fig7Config) withDefaults() Fig7Config {
-	if len(c.MTBFMinutes) == 0 {
-		c.MTBFMinutes = sweep.Linspace(60, 240, 19)
+// Fig7Spec returns the scenario spec of one Figure 7 heatmap; output is
+// "model", "sim" or "diff". Seed and Reps only apply to the
+// simulation-backed outputs (the engine rejects them on "model").
+func Fig7Spec(name string, cfg Fig7Config, output string) *scenario.Spec {
+	spec := &scenario.Spec{
+		Name:     name,
+		Kind:     scenario.KindHeatmap,
+		Output:   output,
+		Protocol: protoName(cfg.Protocol),
+		Platform: "paper-fig7",
 	}
-	if len(c.Alphas) == 0 {
-		c.Alphas = sweep.Linspace(0, 1, 21)
+	if len(cfg.MTBFMinutes) > 0 {
+		spec.MTBFMinutes = &scenario.Axis{Values: cfg.MTBFMinutes}
 	}
-	if c.Reps <= 0 {
-		c.Reps = 100
+	if len(cfg.Alphas) > 0 {
+		spec.Alphas = &scenario.Axis{Values: cfg.Alphas}
 	}
-	return c
+	if output != scenario.OutputModel {
+		seed := cfg.Seed
+		spec.Seed = &seed
+		if cfg.Reps > 0 {
+			spec.Reps = cfg.Reps
+		}
+	}
+	return spec
 }
 
 // Fig7Model computes the model-predicted waste heatmap (Figures 7a/7c/7e).
 func Fig7Model(cfg Fig7Config) *plot.Heatmap {
-	cfg = cfg.withDefaults()
-	grid := sweep.Grid{Xs: cfg.MTBFMinutes, Ys: cfg.Alphas}
-	z := sweep.Run(grid, cfg.Workers, func(_, _ int, alpha, mtbfMin float64) float64 {
-		p := model.Fig7Params(mtbfMin*model.Minute, alpha)
-		return model.Evaluate(cfg.Protocol, p, model.Options{}).Waste
-	})
-	return &plot.Heatmap{
-		Title:  fmt.Sprintf("Waste of %v: Model (T0=1w, C=R=10min, D=1min, rho=0.8, phi=1.03)", cfg.Protocol),
-		XLabel: "MTBF system (minutes)",
-		YLabel: "Ratio of time spent in Library Phase (alpha)",
-		Xs:     cfg.MTBFMinutes,
-		Ys:     cfg.Alphas,
-		Z:      z,
-	}
+	return runOne(Fig7Spec("fig7_model", cfg, scenario.OutputModel), cfg.Workers).Heatmap
 }
 
 // Fig7Sim computes the simulator-measured waste heatmap.
 func Fig7Sim(cfg Fig7Config) *plot.Heatmap {
-	cfg = cfg.withDefaults()
-	grid := sweep.Grid{Xs: cfg.MTBFMinutes, Ys: cfg.Alphas}
-	z := sweep.Run(grid, cfg.Workers, func(row, col int, alpha, mtbfMin float64) float64 {
-		p := model.Fig7Params(mtbfMin*model.Minute, alpha)
-		agg := sim.Simulate(sim.Config{
-			Params:   p,
-			Protocol: cfg.Protocol,
-			Reps:     cfg.Reps,
-			Seed:     rng.At(cfg.Seed, uint64(cfg.Protocol), uint64(row), uint64(col)),
-		})
-		return agg.Waste.Mean
-	})
-	return &plot.Heatmap{
-		Title:  fmt.Sprintf("Waste of %v: Simulation (%d runs/cell)", cfg.Protocol, cfg.Reps),
-		XLabel: "MTBF system (minutes)",
-		YLabel: "Ratio of time spent in Library Phase (alpha)",
-		Xs:     cfg.MTBFMinutes,
-		Ys:     cfg.Alphas,
-		Z:      z,
-	}
+	return runOne(Fig7Spec("fig7_sim", cfg, scenario.OutputSim), cfg.Workers).Heatmap
 }
 
 // Fig7Diff computes the difference heatmap WASTE_simul - WASTE_model
 // (Figures 7b/7d/7f).
 func Fig7Diff(cfg Fig7Config) *plot.Heatmap {
-	cfg = cfg.withDefaults()
-	m := Fig7Model(cfg)
-	s := Fig7Sim(cfg)
-	diff := s.Z.Sub(m.Z)
-	return &plot.Heatmap{
-		Title:  fmt.Sprintf("%v: Difference WASTE_simul - WASTE_model", cfg.Protocol),
-		XLabel: m.XLabel,
-		YLabel: m.YLabel,
-		Xs:     cfg.MTBFMinutes,
-		Ys:     cfg.Alphas,
-		Z:      diff,
-	}
+	return runOne(Fig7Spec("fig7_diff", cfg, scenario.OutputDiff), cfg.Workers).Heatmap
 }
 
-// ScalingSeries names one protocol series of a weak-scaling chart.
-type ScalingSeries struct {
-	Name     string
-	Scenario model.WeakScaling
-	Protocol model.Protocol
-}
+// protoName maps a model protocol to its scenario-file name (panics on an
+// unknown protocol; see scenario.ProtocolName).
+func protoName(p model.Protocol) string { return scenario.ProtocolName(p) }
 
-// ScalingCharts evaluates the given series over the node counts and returns
-// the waste chart and the expected-fault-count chart (the two stacked panels
-// of Figures 8-10).
-func ScalingCharts(title string, nodes []float64, series []ScalingSeries, opts model.Options) (waste, faults *plot.LineChart) {
-	waste = &plot.LineChart{
-		Title: title + " - waste", XLabel: "Nodes", YLabel: "Waste", Xs: nodes, LogX: true,
-	}
-	faults = &plot.LineChart{
-		Title: title + " - expected faults", XLabel: "Nodes", YLabel: "# Faults", Xs: nodes, LogX: true,
-	}
-	for _, s := range series {
-		pts := s.Scenario.Sweep(nodes, opts)
-		w := make([]float64, len(pts))
-		f := make([]float64, len(pts))
-		for i, pt := range pts {
-			res := pt.Results[s.Protocol]
-			w[i] = res.Waste
-			if math.IsInf(res.ExpectedFaults, 1) {
-				f[i] = math.NaN() // infeasible: no finite fault count
-			} else {
-				f[i] = res.ExpectedFaults
-			}
-		}
-		waste.Series = append(waste.Series, plot.Series{Name: s.Name, Values: w})
-		faults.Series = append(faults.Series, plot.Series{Name: s.Name, Values: f})
-	}
-	return waste, faults
-}
-
-func protocolSeries(scenario model.WeakScaling, suffix string) []ScalingSeries {
-	out := make([]ScalingSeries, 0, 3)
+// protocolSeries lists the three protocols on one platform, with an
+// optional display-name suffix.
+func protocolSeries(platform, suffix string) []scenario.SeriesSpec {
+	out := make([]scenario.SeriesSpec, 0, 3)
 	for _, proto := range model.Protocols {
-		out = append(out, ScalingSeries{Name: proto.String() + suffix, Scenario: scenario, Protocol: proto})
+		out = append(out, scenario.SeriesSpec{
+			Name:     proto.String() + suffix,
+			Platform: platform,
+			Protocol: protoName(proto),
+		})
 	}
 	return out
 }
 
-// Fig8 returns the Figure 8 charts: weak scaling with alpha fixed at 0.8.
-// The headline series uses constant (scalable-storage) checkpoint cost —
-// the variant under which the published curve shapes stay feasible at 10^6
-// nodes. The composite pays its forced phase-switch checkpoints in every
-// epoch (the faithful Section III protocol), which reproduces the published
-// crossover in the 10^5..10^6 decade; an amortized variant and the
-// paper-stated linear checkpoint scaling are emitted alongside (the latter
-// drives every protocol infeasible at extreme scale, see DESIGN.md §5-S3).
-func Fig8(nodes []float64) (waste, faults *plot.LineChart) {
-	amortized := model.Fig8Scenario(model.ScaleConstant)
-	amortized.AggregateEpochs = true
+func boolPtr(b bool) *bool { return &b }
+
+// Fig8Spec returns the Figure 8 scenario spec: weak scaling with alpha
+// fixed at 0.8. The headline series uses constant (scalable-storage)
+// checkpoint cost — the variant under which the published curve shapes stay
+// feasible at 10^6 nodes. The composite pays its forced phase-switch
+// checkpoints in every epoch (the faithful Section III protocol), which
+// reproduces the published crossover in the 10^5..10^6 decade; an amortized
+// variant and the paper-stated linear checkpoint scaling are emitted
+// alongside (the latter drives every protocol infeasible at extreme scale,
+// see DESIGN.md §5-S3).
+func Fig8Spec(nodes []float64) *scenario.Spec {
 	series := append(
-		protocolSeries(model.Fig8Scenario(model.ScaleConstant), ""),
-		ScalingSeries{
-			Name:     model.AbftPeriodicCkpt.String() + " (amortized ckpts)",
-			Scenario: amortized,
-			Protocol: model.AbftPeriodicCkpt,
+		protocolSeries("paper-fig8-const-ckpt", ""),
+		scenario.SeriesSpec{
+			Name:            model.AbftPeriodicCkpt.String() + " (amortized ckpts)",
+			Platform:        "paper-fig8-const-ckpt",
+			Protocol:        scenario.ProtoAbft,
+			AggregateEpochs: boolPtr(true),
 		},
 	)
-	series = append(series, protocolSeries(model.Fig8Scenario(model.ScaleLinear), " (C~x)")...)
-	return ScalingCharts("Figure 8: weak scaling, alpha=0.8", nodes, series, model.Options{})
+	series = append(series, protocolSeries("paper-fig8-linear-ckpt", " (C~x)")...)
+	return &scenario.Spec{
+		Name:   "fig8",
+		Kind:   scenario.KindScaling,
+		Title:  "Figure 8: weak scaling, alpha=0.8",
+		Nodes:  nodesAxis(nodes),
+		Series: series,
+	}
 }
 
-// Fig9 returns the Figure 9 charts: weak scaling with an O(n^2) GENERAL
+// Fig9Spec returns the Figure 9 spec: weak scaling with an O(n^2) GENERAL
 // phase, so alpha grows from 0.55 at 1k nodes to 0.975 at 1M nodes. The
 // headline series uses the paper-stated linear checkpoint scaling — showing
 // memory-proportional checkpointing collapsing at scale — with the
@@ -186,209 +137,272 @@ func Fig8(nodes []float64) (waste, faults *plot.LineChart) {
 // checkpoints of cost C ~ x on sub-minute epochs would smother every
 // advantage; the per-epoch series is emitted as a variant). The
 // constant-cost scenario is Figure 10.
-func Fig9(nodes []float64) (waste, faults *plot.LineChart) {
-	amortized := model.Fig9Scenario(model.ScaleLinear)
-	amortized.AggregateEpochs = true
-	series := protocolSeries(amortized, "")
-	series = append(series, ScalingSeries{
+func Fig9Spec(nodes []float64) *scenario.Spec {
+	series := make([]scenario.SeriesSpec, 0, 4)
+	for _, sp := range protocolSeries("paper-fig9-linear-ckpt", "") {
+		sp.AggregateEpochs = boolPtr(true)
+		series = append(series, sp)
+	}
+	series = append(series, scenario.SeriesSpec{
 		Name:     model.AbftPeriodicCkpt.String() + " (per-epoch ckpts)",
-		Scenario: model.Fig9Scenario(model.ScaleLinear),
-		Protocol: model.AbftPeriodicCkpt,
+		Platform: "paper-fig9-linear-ckpt",
+		Protocol: scenario.ProtoAbft,
 	})
-	return ScalingCharts("Figure 9: weak scaling, variable alpha", nodes, series, model.Options{})
+	return &scenario.Spec{
+		Name:   "fig9",
+		Kind:   scenario.KindScaling,
+		Title:  "Figure 9: weak scaling, variable alpha",
+		Nodes:  nodesAxis(nodes),
+		Series: series,
+	}
 }
 
-// Fig10 returns the Figure 10 charts: the Figure 9 scenario with checkpoint
-// and recovery time independent of the node count (C = R = 60 s).
+// Fig10Spec returns the Figure 10 spec: the Figure 9 scenario with
+// checkpoint and recovery time independent of the node count (C = R = 60 s).
+func Fig10Spec(nodes []float64) *scenario.Spec {
+	return &scenario.Spec{
+		Name:   "fig10",
+		Kind:   scenario.KindScaling,
+		Title:  "Figure 10: weak scaling, constant checkpoint time",
+		Nodes:  nodesAxis(nodes),
+		Series: protocolSeries("paper-fig10", ""),
+	}
+}
+
+func nodesAxis(nodes []float64) *scenario.Axis {
+	if len(nodes) == 0 {
+		return &scenario.Axis{Preset: "paper-nodes"}
+	}
+	return &scenario.Axis{Values: nodes}
+}
+
+// Fig8 evaluates the Figure 8 spec and returns the waste and
+// expected-fault-count charts (the two stacked panels of the figure).
+func Fig8(nodes []float64) (waste, faults *plot.LineChart) {
+	return runCharts(Fig8Spec(nodes))
+}
+
+// Fig9 evaluates the Figure 9 spec.
+func Fig9(nodes []float64) (waste, faults *plot.LineChart) {
+	return runCharts(Fig9Spec(nodes))
+}
+
+// Fig10 evaluates the Figure 10 spec.
 func Fig10(nodes []float64) (waste, faults *plot.LineChart) {
-	return ScalingCharts("Figure 10: weak scaling, constant checkpoint time",
-		nodes, protocolSeries(model.Fig10Scenario(), ""), model.Options{})
+	return runCharts(Fig10Spec(nodes))
 }
 
-// Fig10ParityTable reproduces the paper's closing claim: at 10^6 nodes with
+// Fig10ParitySpec reproduces the paper's closing claim: at 10^6 nodes with
 // C = R = 60 s the periodic protocols lose to the composite, and only a 10x
 // cheaper checkpoint (C = R = 6 s) brings PurePeriodicCkpt to comparable
 // performance.
-func Fig10ParityTable() *plot.Table {
-	t := &plot.Table{
+func Fig10ParitySpec() *scenario.Spec {
+	nodes := 1_000_000.0
+	cheap := 6.0
+	return &scenario.Spec{
+		Name:    "table_fig10_parity",
+		Kind:    scenario.KindPoints,
 		Title:   "Figure 10 parity check at 1M nodes (per-epoch model)",
-		Columns: []string{"configuration", "waste", "expected faults/app"},
+		AtNodes: &nodes,
+		Rows: []scenario.PointSpec{
+			{Label: "PurePeriodicCkpt C=R=60s", Platform: "paper-fig10", Protocol: scenario.ProtoPure},
+			{Label: "BiPeriodicCkpt C=R=60s", Platform: "paper-fig10", Protocol: scenario.ProtoBi},
+			{Label: "ABFT&PeriodicCkpt C=R=60s", Platform: "paper-fig10", Protocol: scenario.ProtoAbft},
+			{Label: "PurePeriodicCkpt C=R=6s (10x cheaper)", Platform: "paper-fig10", Protocol: scenario.ProtoPure,
+				Overrides: &scenario.ScalingOverride{CkptAtBase: &cheap}},
+		},
 	}
-	w := model.Fig10Scenario()
-	add := func(name string, proto model.Protocol, scen model.WeakScaling) {
-		res := scen.EvaluateProtocol(proto, 1_000_000, model.Options{})
-		t.AddRow(name,
-			fmt.Sprintf("%.4f", res.Waste),
-			fmt.Sprintf("%.1f", res.ExpectedFaults))
-	}
-	add("PurePeriodicCkpt C=R=60s", model.PurePeriodicCkpt, w)
-	add("BiPeriodicCkpt C=R=60s", model.BiPeriodicCkpt, w)
-	add("ABFT&PeriodicCkpt C=R=60s", model.AbftPeriodicCkpt, w)
-	cheap := w
-	cheap.CkptAtBase = 6
-	add("PurePeriodicCkpt C=R=6s (10x cheaper)", model.PurePeriodicCkpt, cheap)
-	return t
 }
 
-// PeriodTable compares the checkpoint-period formulas (Eq. 11 vs Young 1974
+// Fig10ParityTable evaluates Fig10ParitySpec.
+func Fig10ParityTable() *plot.Table {
+	return runOne(Fig10ParitySpec(), 0).Table
+}
+
+// PeriodsSpec compares the checkpoint-period formulas (Eq. 11 vs Young 1974
 // vs Daly 2004) and the waste each induces, over representative platforms.
+func PeriodsSpec() *scenario.Spec {
+	return &scenario.Spec{
+		Name: "table_periods",
+		Kind: scenario.KindPeriods,
+		// Defaults: C in {1min, 10min}, MTBF in {1h, 6h, 1d}, D = 1min.
+	}
+}
+
+// PeriodTable evaluates PeriodsSpec.
 func PeriodTable() *plot.Table {
-	t := &plot.Table{
-		Title: "Optimal checkpoint periods: Eq.(11) vs Young vs Daly (D=1min, R=C)",
-		Columns: []string{"C", "MTBF", "P eq11 (s)", "P young (s)", "P daly (s)",
-			"waste@eq11", "waste@young", "waste@daly"},
-	}
-	for _, c := range []float64{model.Minute, 10 * model.Minute} {
-		for _, mu := range []float64{model.Hour, 6 * model.Hour, model.Day} {
-			d, r := model.Minute, c
-			eq11, ok := model.OptimalPeriod(c, mu, d, r)
-			young := model.YoungPeriod(c, mu)
-			daly := model.DalyPeriod(c, mu, d, r)
-			if !ok {
-				t.AddRow(fmtDur(c), fmtDur(mu), "infeasible", "", "", "", "", "")
-				continue
-			}
-			w := func(p float64) string {
-				return fmt.Sprintf("%.4f", 1-model.PeriodicFactor(p, c, mu, d, r))
-			}
-			t.AddRow(fmtDur(c), fmtDur(mu),
-				fmt.Sprintf("%.0f", eq11), fmt.Sprintf("%.0f", young), fmt.Sprintf("%.0f", daly),
-				w(eq11), w(young), w(daly))
-		}
-	}
-	return t
+	return runOne(PeriodsSpec(), 0).Table
 }
 
-func fmtDur(seconds float64) string {
-	switch {
-	case seconds >= model.Day:
-		return fmt.Sprintf("%gd", seconds/model.Day)
-	case seconds >= model.Hour:
-		return fmt.Sprintf("%gh", seconds/model.Hour)
-	case seconds >= model.Minute:
-		return fmt.Sprintf("%gmin", seconds/model.Minute)
-	default:
-		return fmt.Sprintf("%gs", seconds)
-	}
-}
-
-// AblationEpochAggregation contrasts per-epoch forced checkpoints (the
-// faithful Section III protocol) with whole-application aggregation, for the
+// AblationEpochsSpec contrasts per-epoch forced checkpoints (the faithful
+// Section III protocol) with whole-application aggregation, for the
 // Figure 8 scalable-storage scenario.
+func AblationEpochsSpec(nodes []float64) *scenario.Spec {
+	return &scenario.Spec{
+		Name:     "table_ablation_epochs",
+		Kind:     scenario.KindAblation,
+		Variant:  scenario.VariantEpochs,
+		Platform: "paper-fig8-const-ckpt",
+		Nodes:    nodesAxis(nodes),
+	}
+}
+
+// AblationEpochAggregation evaluates AblationEpochsSpec.
 func AblationEpochAggregation(nodes []float64) *plot.Table {
-	t := &plot.Table{
-		Title:   "Ablation: composite waste, per-epoch forced checkpoints vs aggregated epochs (Fig. 8 scenario, C const)",
-		Columns: []string{"nodes", "waste per-epoch", "waste aggregated"},
-	}
-	per := model.Fig8Scenario(model.ScaleConstant)
-	agg := per
-	agg.AggregateEpochs = true
-	for _, n := range nodes {
-		wp := model.Evaluate(model.AbftPeriodicCkpt, per.ParamsAt(n), model.Options{}).Waste
-		wa := model.Evaluate(model.AbftPeriodicCkpt, agg.ParamsAt(n), model.Options{}).Waste
-		t.AddRow(fmt.Sprintf("%.0f", n), fmt.Sprintf("%.4f", wp), fmt.Sprintf("%.4f", wa))
-	}
-	return t
+	return runOne(AblationEpochsSpec(nodes), 0).Table
 }
 
-// AblationSafeguard contrasts the composite with and without the Section
-// III-B safeguard on the Figure 8 scenario.
+// AblationSafeguardSpec contrasts the composite with and without the
+// Section III-B safeguard on the Figure 8 scenario.
+func AblationSafeguardSpec(nodes []float64) *scenario.Spec {
+	return &scenario.Spec{
+		Name:     "table_ablation_safeguard",
+		Kind:     scenario.KindAblation,
+		Variant:  scenario.VariantSafeguard,
+		Platform: "paper-fig8-const-ckpt",
+		Nodes:    nodesAxis(nodes),
+	}
+}
+
+// AblationSafeguard evaluates AblationSafeguardSpec.
 func AblationSafeguard(nodes []float64) *plot.Table {
-	t := &plot.Table{
-		Title:   "Ablation: composite waste with and without the ABFT-activation safeguard (Fig. 8 scenario, C const)",
-		Columns: []string{"nodes", "waste no safeguard", "waste safeguard", "ABFT active"},
-	}
-	w := model.Fig8Scenario(model.ScaleConstant)
-	for _, n := range nodes {
-		p := w.ParamsAt(n)
-		off := model.Evaluate(model.AbftPeriodicCkpt, p, model.Options{})
-		on := model.Evaluate(model.AbftPeriodicCkpt, p, model.Options{Safeguard: true})
-		t.AddRow(fmt.Sprintf("%.0f", n),
-			fmt.Sprintf("%.4f", off.Waste),
-			fmt.Sprintf("%.4f", on.Waste),
-			fmt.Sprintf("%v", on.ABFTActive))
-	}
-	return t
+	return runOne(AblationSafeguardSpec(nodes), 0).Table
 }
 
-// DistCase names one failure-process scenario of a sensitivity scan. Make
-// builds the inter-arrival distribution from the platform MTBF, so every
-// case is compared at equal MTBF.
+// DistCase names one failure-process case of a sensitivity scan: a
+// distribution from the catalogue (see scenario.DistSpec) normalized to the
+// platform MTBF, so every case is compared at equal MTBF.
 type DistCase struct {
+	// Name is the table row label.
 	Name string
-	Make func(mtbf float64) dist.Distribution
+	// Dist is "exp", "weibull", "gamma" or "lognormal"; Shape is the
+	// Weibull/gamma shape k or the log-normal sigma.
+	Dist  string
+	Shape float64
 }
 
 // DefaultDistCases returns the catalogue scanned by DistributionSensitivity:
 // the exponential baseline plus Weibull, gamma and log-normal shapes spanning
 // infant-mortality (k < 1), burn-in (k > 1) and heavy-tailed regimes.
 func DefaultDistCases() []DistCase {
-	mk := func(f func(shape, mtbf float64) dist.Distribution, shape float64) func(float64) dist.Distribution {
-		return func(mtbf float64) dist.Distribution { return f(shape, mtbf) }
-	}
-	weibull := func(k, m float64) dist.Distribution { return dist.WeibullWithMTBF(k, m) }
-	gamma := func(k, m float64) dist.Distribution { return dist.GammaWithMTBF(k, m) }
-	lognormal := func(s, m float64) dist.Distribution { return dist.LogNormalWithMTBF(s, m) }
 	return []DistCase{
-		{"exponential", func(m float64) dist.Distribution { return dist.NewExponential(m) }},
-		{"weibull k=0.5", mk(weibull, 0.5)},
-		{"weibull k=0.7", mk(weibull, 0.7)},
-		{"weibull k=2", mk(weibull, 2)},
-		{"gamma k=0.5", mk(gamma, 0.5)},
-		{"gamma k=3", mk(gamma, 3)},
-		{"lognormal s=1", mk(lognormal, 1)},
-		{"lognormal s=1.5", mk(lognormal, 1.5)},
+		{"exponential", scenario.DistExponential, 0},
+		{"weibull k=0.5", scenario.DistWeibull, 0.5},
+		{"weibull k=0.7", scenario.DistWeibull, 0.7},
+		{"weibull k=2", scenario.DistWeibull, 2},
+		{"gamma k=0.5", scenario.DistGamma, 0.5},
+		{"gamma k=3", scenario.DistGamma, 3},
+		{"lognormal s=1", scenario.DistLogNormal, 1},
+		{"lognormal s=1.5", scenario.DistLogNormal, 1.5},
 	}
 }
 
-// DistributionSensitivity measures simulated waste for the three protocols
+// DistSensitivitySpec measures simulated waste for the three protocols
 // under every failure process of cases, all normalized to the same platform
 // MTBF (mu=2h on the Figure 7 slice) — the paper's Section V realism check
 // widened from Weibull-only to the full distribution catalogue.
-func DistributionSensitivity(cases []DistCase, reps int, seed uint64) *plot.Table {
-	t := &plot.Table{
-		Title:   "Sensitivity: simulated waste vs failure process at equal MTBF (mu=2h, alpha=0.8)",
-		Columns: []string{"distribution", "pure waste", "bi waste", "composite waste"},
+func DistSensitivitySpec(cases []DistCase, reps int, seed uint64) *scenario.Spec {
+	spec := &scenario.Spec{
+		Name: "table_dist_sensitivity",
+		Kind: scenario.KindSensitivity,
+		Reps: reps,
+		Seed: &seed,
 	}
-	p := model.Fig7Params(2*model.Hour, 0.8)
-	for i, c := range cases {
-		row := []string{c.Name}
-		for _, proto := range model.Protocols {
-			cfg := sim.Config{
-				Params: p, Protocol: proto, Reps: reps,
-				Seed:         rng.At(seed, uint64(i), uint64(proto)),
-				Distribution: c.Make,
-			}
-			row = append(row, fmt.Sprintf("%.4f", sim.Simulate(cfg).Waste.Mean))
-		}
-		t.AddRow(row...)
+	for _, c := range cases {
+		spec.Cases = append(spec.Cases, scenario.CaseSpec{Name: c.Name, Dist: c.Dist, Shape: c.Shape})
 	}
-	return t
+	return spec
 }
 
-// WeibullSensitivity measures simulated composite waste under Weibull
+// DistributionSensitivity evaluates DistSensitivitySpec.
+func DistributionSensitivity(cases []DistCase, reps int, seed uint64) *plot.Table {
+	return runOne(DistSensitivitySpec(cases, reps, seed), 0).Table
+}
+
+// WeibullSensitivitySpec measures simulated composite waste under Weibull
 // failures of equal MTBF but varying shape (k=1 is exponential), on a
-// Figure 7 slice.
-func WeibullSensitivity(shapes []float64, reps int, seed uint64) *plot.Table {
-	t := &plot.Table{
-		Title:   "Sensitivity: simulated waste vs failure distribution shape (mu=2h, alpha=0.8)",
-		Columns: []string{"weibull k", "pure waste", "bi waste", "composite waste"},
+// Figure 7 slice. Each shape's seed path reproduces the historical stream
+// addressing (one stream per shape, shared by the three protocols).
+func WeibullSensitivitySpec(shapes []float64, reps int, seed uint64) *scenario.Spec {
+	spec := &scenario.Spec{
+		Name:  "table_weibull",
+		Kind:  scenario.KindSensitivity,
+		Title: "Sensitivity: simulated waste vs failure distribution shape (mu=2h, alpha=0.8)",
+		Label: "weibull k",
+		Reps:  reps,
+		Seed:  &seed,
 	}
-	p := model.Fig7Params(2*model.Hour, 0.8)
 	for _, k := range shapes {
-		k := k
-		row := []string{fmt.Sprintf("%g", k)}
-		for _, proto := range model.Protocols {
-			cfg := sim.Config{
-				Params: p, Protocol: proto, Reps: reps,
-				Seed: rng.At(seed, uint64(k*1000)),
-				Distribution: func(mtbf float64) dist.Distribution {
-					return dist.WeibullWithMTBF(k, mtbf)
-				},
-			}
-			row = append(row, fmt.Sprintf("%.4f", sim.Simulate(cfg).Waste.Mean))
-		}
-		t.AddRow(row...)
+		spec.Cases = append(spec.Cases, scenario.CaseSpec{
+			Name:     fmt.Sprintf("%g", k),
+			Dist:     scenario.DistWeibull,
+			Shape:    k,
+			SeedPath: []uint64{uint64(k * 1000)},
+		})
 	}
-	return t
+	return spec
+}
+
+// WeibullSensitivity evaluates WeibullSensitivitySpec.
+func WeibullSensitivity(shapes []float64, reps int, seed uint64) *plot.Table {
+	return runOne(WeibullSensitivitySpec(shapes, reps, seed), 0).Table
+}
+
+// PaperCampaign collects the whole Section V evaluation — every heatmap,
+// weak-scaling chart and table of cmd/figures — into one campaign. reps and
+// seed parameterize the simulation-backed scenarios; withSim=false drops
+// them (the -model-only mode).
+func PaperCampaign(reps int, seed uint64, withSim bool) *scenario.Campaign {
+	c := &scenario.Campaign{
+		Name: "paper-eval",
+		Seed: &seed,
+		Reps: reps,
+	}
+	letters := map[model.Protocol]struct{ modelFig, diffFig string }{
+		model.PurePeriodicCkpt: {"fig7a_pure_model", "fig7b_pure_diff"},
+		model.BiPeriodicCkpt:   {"fig7c_bi_model", "fig7d_bi_diff"},
+		model.AbftPeriodicCkpt: {"fig7e_abft_model", "fig7f_abft_diff"},
+	}
+	for _, proto := range model.Protocols {
+		cfg := Fig7Config{Protocol: proto, Reps: reps, Seed: seed}
+		c.Scenarios = append(c.Scenarios, Fig7Spec(letters[proto].modelFig, cfg, scenario.OutputModel))
+		if withSim {
+			c.Scenarios = append(c.Scenarios, Fig7Spec(letters[proto].diffFig, cfg, scenario.OutputDiff))
+		}
+	}
+	c.Scenarios = append(c.Scenarios,
+		Fig8Spec(nil), Fig9Spec(nil), Fig10Spec(nil),
+		Fig10ParitySpec(), PeriodsSpec(),
+		AblationEpochsSpec([]float64{1_000, 10_000, 100_000, 1_000_000}),
+		AblationSafeguardSpec([]float64{1_000, 10_000, 100_000, 1_000_000}),
+	)
+	if withSim {
+		weibull := WeibullSensitivitySpec([]float64{0.5, 0.7, 1.0}, reps, seed)
+		dist := DistSensitivitySpec(DefaultDistCases(), reps, seed)
+		c.Scenarios = append(c.Scenarios, weibull, dist)
+	}
+	return c
+}
+
+// runOne executes a single-spec campaign and returns its first artifact.
+// The figures API predates error returns; an invalid spec is a programming
+// error here, so it panics.
+func runOne(spec *scenario.Spec, workers int) scenario.Artifact {
+	arts := runSpec(spec, workers)
+	return arts[0]
+}
+
+// runCharts executes a scaling spec and returns its two charts.
+func runCharts(spec *scenario.Spec) (waste, faults *plot.LineChart) {
+	arts := runSpec(spec, 0)
+	return arts[0].Chart, arts[1].Chart
+}
+
+func runSpec(spec *scenario.Spec, workers int) []scenario.Artifact {
+	r := scenario.Runner{Workers: workers}
+	rep, err := r.Run(&scenario.Campaign{Name: "inline", Scenarios: []*scenario.Spec{spec}})
+	if err != nil {
+		panic(err)
+	}
+	return rep.Artifacts
 }

@@ -104,6 +104,8 @@ func (p Params) EffectiveRLbar() float64 {
 	return (1 - p.Rho) * p.R
 }
 
+// String renders the parameters with their units (seconds for durations,
+// fractions for alpha, rho; phi is a slowdown factor >= 1).
 func (p Params) String() string {
 	return fmt.Sprintf("Params{T0=%gs, alpha=%g, mu=%gs, C=%gs, R=%gs, D=%gs, rho=%g, phi=%g, recons=%gs}",
 		p.T0, p.Alpha, p.Mu, p.C, p.R, p.D, p.Rho, p.Phi, p.Recons)

@@ -27,6 +27,8 @@ const (
 // Protocols lists all protocols in presentation order.
 var Protocols = []Protocol{PurePeriodicCkpt, BiPeriodicCkpt, AbftPeriodicCkpt}
 
+// String returns the protocol's display name as used in the paper's
+// figures (e.g. "ABFT&PeriodicCkpt").
 func (p Protocol) String() string {
 	switch p {
 	case PurePeriodicCkpt:

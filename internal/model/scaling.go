@@ -1,6 +1,7 @@
 package model
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -23,6 +24,8 @@ const (
 	ScaleInverse
 )
 
+// String returns the law's name: "constant", "sqrt", "linear" or
+// "inverse".
 func (l ScalingLaw) String() string {
 	switch l {
 	case ScaleConstant:
@@ -36,6 +39,43 @@ func (l ScalingLaw) String() string {
 	default:
 		return fmt.Sprintf("ScalingLaw(%d)", int(l))
 	}
+}
+
+// ParseScalingLaw is the inverse of String: it maps "constant", "sqrt",
+// "linear" or "inverse" back to the ScalingLaw constant.
+func ParseScalingLaw(s string) (ScalingLaw, error) {
+	switch s {
+	case "constant":
+		return ScaleConstant, nil
+	case "sqrt":
+		return ScaleSqrt, nil
+	case "linear":
+		return ScaleLinear, nil
+	case "inverse":
+		return ScaleInverse, nil
+	default:
+		return 0, fmt.Errorf("model: unknown scaling law %q (want constant, sqrt, linear or inverse)", s)
+	}
+}
+
+// MarshalJSON encodes the law as its name ("constant", "sqrt", "linear",
+// "inverse") so scenario files stay human-readable.
+func (l ScalingLaw) MarshalJSON() ([]byte, error) {
+	return json.Marshal(l.String())
+}
+
+// UnmarshalJSON decodes a law name written by MarshalJSON.
+func (l *ScalingLaw) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParseScalingLaw(s)
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
 }
 
 // Factor returns the multiplier for a node-count ratio s = nodes/baseNodes.
@@ -82,7 +122,9 @@ type WeakScaling struct {
 	LibraryScaling ScalingLaw
 	// Epochs is the number of epochs the application iterates over (1000).
 	Epochs int
-	// Downtime, Rho, Phi, Recons are scale-independent protocol parameters.
+	// Downtime, Rho, Phi, Recons are scale-independent protocol
+	// parameters: downtime and reconstruction time in seconds, rho a
+	// fraction of memory in [0, 1], phi a slowdown factor >= 1.
 	Downtime float64
 	Rho      float64
 	Phi      float64
@@ -216,8 +258,12 @@ func (w WeakScaling) EvaluateProtocol(proto Protocol, nodes float64, opts Option
 // ScalingPoint is the model output for one node count in a weak-scaling
 // study, covering all three protocols.
 type ScalingPoint struct {
-	Nodes  float64
-	Alpha  float64
+	// Nodes is the platform size of this point.
+	Nodes float64
+	// Alpha is the LIBRARY-phase time fraction at this size (fraction of
+	// work in [0, 1]).
+	Alpha float64
+	// Params are the resolved per-epoch parameters (durations in seconds).
 	Params Params
 	// Results holds the per-protocol model evaluation. For per-epoch mode
 	// the reported TFinal and ExpectedFaults cover the full application

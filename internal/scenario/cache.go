@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheEntry is the on-disk record of one executed cell. Spec is stored in
+// canonical form and re-verified on load, so a hash collision or a corrupt
+// file degrades to a cache miss, never to a wrong result.
+type cacheEntry struct {
+	V         int             `json:"v"`
+	Spec      json.RawMessage `json:"spec"`
+	Result    CellResult      `json:"result"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// cachePath shards cache files by the first byte of the hash to keep
+// directories small on big campaigns.
+func cachePath(dir, hash string) string {
+	return filepath.Join(dir, hash[:2], hash+".json")
+}
+
+// loadCell returns the cached result of spec, if present and intact.
+func loadCell(dir string, spec CellSpec) (CellResult, bool) {
+	if dir == "" {
+		return CellResult{}, false
+	}
+	data, err := os.ReadFile(cachePath(dir, spec.Hash()))
+	if err != nil {
+		return CellResult{}, false
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil {
+		return CellResult{}, false
+	}
+	if entry.V != cellVersion || !bytes.Equal(entry.Spec, spec.Canonical()) {
+		return CellResult{}, false
+	}
+	return entry.Result, true
+}
+
+// storeCell persists an executed cell atomically (write temp, rename).
+func storeCell(dir string, spec CellSpec, res CellResult, elapsedMS float64) error {
+	if dir == "" {
+		return nil
+	}
+	path := cachePath(dir, spec.Hash())
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("scenario: cache dir: %w", err)
+	}
+	data, err := json.Marshal(cacheEntry{
+		V: cellVersion, Spec: spec.Canonical(), Result: res, ElapsedMS: elapsedMS,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario: marshal cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "cell-*")
+	if err != nil {
+		return fmt.Errorf("scenario: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("scenario: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("scenario: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("scenario: cache write: %w", err)
+	}
+	return nil
+}

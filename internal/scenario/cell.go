@@ -1,0 +1,335 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"abftckpt/internal/dist"
+	"abftckpt/internal/model"
+	"abftckpt/internal/sim"
+)
+
+// Cell operations.
+const (
+	// OpModel evaluates the analytical model on fully resolved parameters.
+	OpModel = "model"
+	// OpScaling evaluates one protocol of a weak-scaling study at one node
+	// count (with the study's epoch-accounting rules).
+	OpScaling = "scaling"
+	// OpSim runs a Monte-Carlo simulation campaign at one parameter point.
+	OpSim = "sim"
+	// OpPeriods compares the Eq. (11), Young and Daly checkpoint periods
+	// for one (C, mu, D, R) point.
+	OpPeriods = "periods"
+)
+
+// CellSpec fully determines one evaluation: hashing its canonical JSON
+// encoding yields the cache key, so two cells with equal specs always share
+// one result. All durations are seconds; Seed is the absolute, already
+// derived stream seed.
+type CellSpec struct {
+	// V versions the cell format; bump it to invalidate old caches.
+	V int `json:"v"`
+	// Op selects the computation (see the Op* constants).
+	Op string `json:"op"`
+	// Protocol is "pure", "bi" or "abft" (all ops except periods).
+	Protocol string `json:"protocol,omitempty"`
+	// Params are the resolved epoch parameters (model and sim ops).
+	Params *model.Params `json:"params,omitempty"`
+	// Scaling and Nodes identify a weak-scaling evaluation (scaling op).
+	Scaling *model.WeakScaling `json:"scaling,omitempty"`
+	Nodes   float64            `json:"nodes,omitempty"`
+	// Options tune protocol variants (safeguard, fixed periods).
+	Options model.Options `json:"options,omitempty"`
+	// Epochs, Reps, Seed and Dist configure a simulation campaign (sim op).
+	Epochs int       `json:"epochs,omitempty"`
+	Reps   int       `json:"reps,omitempty"`
+	Seed   uint64    `json:"seed"`
+	Dist   *DistSpec `json:"dist,omitempty"`
+	// Probe is the period-comparison input (periods op).
+	Probe *PeriodsProbe `json:"probe,omitempty"`
+}
+
+// cellVersion invalidates cached results when the cell semantics change.
+const cellVersion = 1
+
+// PeriodsProbe is the input of an OpPeriods cell (all seconds).
+type PeriodsProbe struct {
+	C  float64 `json:"c"`
+	Mu float64 `json:"mu"`
+	D  float64 `json:"d"`
+	R  float64 `json:"r"`
+}
+
+// Canonical returns the canonical JSON encoding of the cell (stable field
+// order, shortest float representation).
+func (c CellSpec) Canonical() []byte {
+	c.V = cellVersion
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Params/Options hold only finite floats by validation; a marshal
+		// failure is a programming error.
+		panic(fmt.Sprintf("scenario: marshal cell: %v", err))
+	}
+	return b
+}
+
+// Hash returns the hex SHA-256 of the canonical encoding: the cache key.
+func (c CellSpec) Hash() string {
+	sum := sha256.Sum256(c.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// JSONFloat is a float64 whose JSON encoding survives the IEEE specials:
+// +Inf, -Inf and NaN (which an infeasible protocol legitimately produces)
+// are encoded as the strings "+inf", "-inf" and "nan".
+type JSONFloat float64
+
+// MarshalJSON encodes specials as strings and finite values as numbers.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"nan"`), nil
+	default:
+		return json.Marshal(v)
+	}
+}
+
+// UnmarshalJSON decodes the encoding of MarshalJSON.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = JSONFloat(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "+inf":
+		*f = JSONFloat(math.Inf(1))
+	case "-inf":
+		*f = JSONFloat(math.Inf(-1))
+	case "nan":
+		*f = JSONFloat(math.NaN())
+	default:
+		return fmt.Errorf("scenario: invalid float %q", s)
+	}
+	return nil
+}
+
+// ModelCellResult mirrors model.Result with JSON-safe floats: times in
+// seconds, Waste a fraction of wall-clock time in [0, 1] (1 when
+// infeasible), ExpectedFaults a count.
+type ModelCellResult struct {
+	Feasible       bool      `json:"feasible"`
+	TFinal         JSONFloat `json:"tfinal"`
+	Waste          JSONFloat `json:"waste"`
+	FaultFree      JSONFloat `json:"fault_free"`
+	TFinalG        JSONFloat `json:"tfinal_g"`
+	TFinalL        JSONFloat `json:"tfinal_l"`
+	PeriodG        JSONFloat `json:"period_g"`
+	PeriodL        JSONFloat `json:"period_l"`
+	ExpectedFaults JSONFloat `json:"expected_faults"`
+	ABFTActive     bool      `json:"abft_active"`
+}
+
+func newModelCellResult(r model.Result) *ModelCellResult {
+	return &ModelCellResult{
+		Feasible:       r.Feasible,
+		TFinal:         JSONFloat(r.TFinal),
+		Waste:          JSONFloat(r.Waste),
+		FaultFree:      JSONFloat(r.FaultFree),
+		TFinalG:        JSONFloat(r.TFinalG),
+		TFinalL:        JSONFloat(r.TFinalL),
+		PeriodG:        JSONFloat(r.PeriodG),
+		PeriodL:        JSONFloat(r.PeriodL),
+		ExpectedFaults: JSONFloat(r.ExpectedFaults),
+		ABFTActive:     r.ABFTActive,
+	}
+}
+
+// SimCellResult summarizes a sim.Aggregate with JSON-safe floats: waste is
+// a fraction of wall-clock time in [0, 1], times are mean seconds per run,
+// faults a mean count per run.
+type SimCellResult struct {
+	WasteMean    JSONFloat `json:"waste_mean"`
+	WasteStdDev  JSONFloat `json:"waste_stddev"`
+	WasteCI95    JSONFloat `json:"waste_ci95"`
+	FaultsMean   JSONFloat `json:"faults_mean"`
+	TFinalMean   JSONFloat `json:"tfinal_mean"`
+	WorkMean     JSONFloat `json:"work_mean"`
+	CkptMean     JSONFloat `json:"ckpt_mean"`
+	LostMean     JSONFloat `json:"lost_mean"`
+	RecoveryMean JSONFloat `json:"recovery_mean"`
+	Runs         int       `json:"runs"`
+	Truncated    int       `json:"truncated"`
+}
+
+func newSimCellResult(a sim.Aggregate) *SimCellResult {
+	return &SimCellResult{
+		WasteMean:    JSONFloat(a.Waste.Mean),
+		WasteStdDev:  JSONFloat(a.Waste.StdDev),
+		WasteCI95:    JSONFloat(a.Waste.CI95),
+		FaultsMean:   JSONFloat(a.Faults.Mean),
+		TFinalMean:   JSONFloat(a.TFinal.Mean),
+		WorkMean:     JSONFloat(a.Work.Mean),
+		CkptMean:     JSONFloat(a.Ckpt.Mean),
+		LostMean:     JSONFloat(a.Lost.Mean),
+		RecoveryMean: JSONFloat(a.Recovery.Mean),
+		Runs:         a.Runs,
+		Truncated:    a.Truncated,
+	}
+}
+
+// PeriodsCellResult is the output of an OpPeriods cell: the three period
+// estimates (seconds) and the waste each induces.
+type PeriodsCellResult struct {
+	Eq11         JSONFloat `json:"eq11"`
+	Eq11Feasible bool      `json:"eq11_feasible"`
+	Young        JSONFloat `json:"young"`
+	Daly         JSONFloat `json:"daly"`
+	WasteEq11    JSONFloat `json:"waste_eq11"`
+	WasteYoung   JSONFloat `json:"waste_young"`
+	WasteDaly    JSONFloat `json:"waste_daly"`
+}
+
+// CellResult is the cached output of one cell; exactly one field is set,
+// matching the cell's Op.
+type CellResult struct {
+	Model   *ModelCellResult   `json:"model,omitempty"`
+	Sim     *SimCellResult     `json:"sim,omitempty"`
+	Periods *PeriodsCellResult `json:"periods,omitempty"`
+}
+
+// constructor builds the dist.Distribution factory of a sim cell.
+func (d *DistSpec) constructor() (func(mtbf float64) dist.Distribution, error) {
+	spec := DistSpec{Name: DistExponential}
+	if d != nil {
+		spec = *d
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	shape := spec.Shape
+	switch spec.Name {
+	case DistExponential:
+		return func(mtbf float64) dist.Distribution { return dist.NewExponential(mtbf) }, nil
+	case DistWeibull:
+		return func(mtbf float64) dist.Distribution { return dist.WeibullWithMTBF(shape, mtbf) }, nil
+	case DistGamma:
+		return func(mtbf float64) dist.Distribution { return dist.GammaWithMTBF(shape, mtbf) }, nil
+	case DistLogNormal:
+		return func(mtbf float64) dist.Distribution { return dist.LogNormalWithMTBF(shape, mtbf) }, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown distribution %q", spec.Name)
+	}
+}
+
+// Validate checks the cell is executable without running it.
+func (c CellSpec) Validate() error {
+	switch c.Op {
+	case OpModel:
+		if c.Params == nil {
+			return fmt.Errorf("scenario: model cell needs params")
+		}
+		if _, err := ParseProtocol(c.Protocol); err != nil {
+			return err
+		}
+		return c.Params.Validate()
+	case OpScaling:
+		if c.Scaling == nil {
+			return fmt.Errorf("scenario: scaling cell needs a scaling study")
+		}
+		if c.Nodes <= 0 {
+			return fmt.Errorf("scenario: scaling cell needs nodes > 0")
+		}
+		if _, err := ParseProtocol(c.Protocol); err != nil {
+			return err
+		}
+		return c.Scaling.ParamsAt(c.Nodes).Validate()
+	case OpSim:
+		if c.Params == nil {
+			return fmt.Errorf("scenario: sim cell needs params")
+		}
+		if _, err := ParseProtocol(c.Protocol); err != nil {
+			return err
+		}
+		if c.Reps <= 0 {
+			return fmt.Errorf("scenario: sim cell needs reps > 0")
+		}
+		if _, err := c.Dist.constructor(); err != nil {
+			return err
+		}
+		return c.Params.Validate()
+	case OpPeriods:
+		if c.Probe == nil {
+			return fmt.Errorf("scenario: periods cell needs a probe")
+		}
+		if c.Probe.Mu <= 0 || c.Probe.C < 0 || c.Probe.D < 0 || c.Probe.R < 0 {
+			return fmt.Errorf("scenario: periods probe needs mu > 0 and non-negative C, D, R")
+		}
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown cell op %q", c.Op)
+	}
+}
+
+// Execute runs the cell. Simulation cells run single-threaded — the Runner
+// parallelizes across cells, not within them — and remain bit-identical to
+// any other worker configuration (see sim.Simulate).
+func (c CellSpec) Execute() (CellResult, error) {
+	if err := c.Validate(); err != nil {
+		return CellResult{}, err
+	}
+	switch c.Op {
+	case OpModel:
+		proto, _ := ParseProtocol(c.Protocol)
+		return CellResult{Model: newModelCellResult(model.Evaluate(proto, *c.Params, c.Options))}, nil
+	case OpScaling:
+		proto, _ := ParseProtocol(c.Protocol)
+		return CellResult{Model: newModelCellResult(c.Scaling.EvaluateProtocol(proto, c.Nodes, c.Options))}, nil
+	case OpSim:
+		proto, _ := ParseProtocol(c.Protocol)
+		ctor, _ := c.Dist.constructor()
+		agg := sim.Simulate(sim.Config{
+			Params:       *c.Params,
+			Protocol:     proto,
+			Epochs:       c.Epochs,
+			Reps:         c.Reps,
+			Seed:         c.Seed,
+			Workers:      1,
+			Distribution: ctor,
+			Safeguard:    c.Options.Safeguard,
+		})
+		return CellResult{Sim: newSimCellResult(agg)}, nil
+	case OpPeriods:
+		p := *c.Probe
+		eq11, ok := model.OptimalPeriod(p.C, p.Mu, p.D, p.R)
+		young := model.YoungPeriod(p.C, p.Mu)
+		daly := model.DalyPeriod(p.C, p.Mu, p.D, p.R)
+		waste := func(period float64) JSONFloat {
+			return JSONFloat(1 - model.PeriodicFactor(period, p.C, p.Mu, p.D, p.R))
+		}
+		return CellResult{Periods: &PeriodsCellResult{
+			Eq11:         JSONFloat(eq11),
+			Eq11Feasible: ok,
+			Young:        JSONFloat(young),
+			Daly:         JSONFloat(daly),
+			WasteEq11:    waste(eq11),
+			WasteYoung:   waste(young),
+			WasteDaly:    waste(daly),
+		}}, nil
+	default:
+		return CellResult{}, fmt.Errorf("scenario: unknown cell op %q", c.Op)
+	}
+}

@@ -1,0 +1,680 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"abftckpt/internal/model"
+	"abftckpt/internal/plot"
+	"abftckpt/internal/rng"
+	"abftckpt/internal/sweep"
+)
+
+// expansion is a resolved spec: its artifact names, its cells and the
+// closure assembling cell results (in cell order) into artifacts.
+type expansion struct {
+	spec      *Spec
+	artifacts []string
+	cells     []CellSpec
+	assemble  func(results []CellResult) ([]Artifact, error)
+}
+
+// setFields reports which kind-specific spec fields are set, by JSON name.
+func (s *Spec) setFields() []string {
+	var out []string
+	set := func(cond bool, name string) {
+		if cond {
+			out = append(out, name)
+		}
+	}
+	set(s.Protocol != "", "protocol")
+	set(s.Platform != "", "platform")
+	set(s.PlatformOverrides != nil, "platform_overrides")
+	set(s.Output != "", "output")
+	set(s.MTBFMinutes != nil, "mtbf_minutes")
+	set(s.Alphas != nil, "alphas")
+	set(s.Distribution != nil, "distribution")
+	set(s.Render != nil, "render")
+	set(s.Nodes != nil, "nodes")
+	set(len(s.Series) > 0, "series")
+	set(s.AtNodes != nil, "at_nodes")
+	set(len(s.Rows) > 0, "rows")
+	set(len(s.CkptCosts) > 0, "ckpt_costs")
+	set(len(s.MTBFs) > 0, "mtbfs")
+	set(s.Downtime != nil, "downtime")
+	set(s.Variant != "", "variant")
+	set(s.MTBF != nil, "mtbf")
+	set(s.Alpha != nil, "alpha")
+	set(s.Label != "", "label")
+	set(len(s.Cases) > 0, "cases")
+	// seed and reps only drive simulation cells; on the purely analytic
+	// kinds they would be silently ignored, so they are validated like
+	// kind-specific fields.
+	set(s.Seed != nil, "seed")
+	set(s.Reps != 0, "reps")
+	return out
+}
+
+// kindFields lists the kind-specific fields each kind accepts (common
+// fields — name, kind, title, notes, options — always apply; seed and reps
+// only on the simulation-backed kinds).
+var kindFields = map[string][]string{
+	KindHeatmap:     {"protocol", "platform", "platform_overrides", "output", "mtbf_minutes", "alphas", "distribution", "render", "seed", "reps"},
+	KindScaling:     {"nodes", "series"},
+	KindPoints:      {"at_nodes", "rows"},
+	KindPeriods:     {"ckpt_costs", "mtbfs", "downtime"},
+	KindAblation:    {"variant", "platform", "protocol", "nodes"},
+	KindSensitivity: {"platform", "platform_overrides", "mtbf", "alpha", "label", "cases", "seed", "reps"},
+}
+
+// checkFields rejects fields that exist in the schema but do not apply to
+// the spec's kind, so a misplaced field fails loudly instead of silently
+// running the kind's default.
+func (s *Spec) checkFields() error {
+	allowed := map[string]bool{}
+	for _, f := range kindFields[s.Kind] {
+		allowed[f] = true
+	}
+	for _, f := range s.setFields() {
+		if !allowed[f] {
+			return fmt.Errorf("field %q does not apply to kind %q (allowed: %s)",
+				f, s.Kind, strings.Join(kindFields[s.Kind], ", "))
+		}
+	}
+	return nil
+}
+
+// expand resolves the spec against the campaign defaults, validates it, and
+// returns its cell grid and assembler.
+func (s *Spec) expand(c *Campaign) (*expansion, error) {
+	if err := s.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if s.Reps < 0 {
+		return nil, fmt.Errorf("scenario %q: reps must be non-negative", s.Name)
+	}
+	if _, ok := kindFields[s.Kind]; ok {
+		if err := s.checkFields(); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	var ex *expansion
+	var err error
+	switch s.Kind {
+	case KindHeatmap:
+		ex, err = s.expandHeatmap(c)
+	case KindScaling:
+		ex, err = s.expandScaling()
+	case KindPoints:
+		ex, err = s.expandPoints()
+	case KindPeriods:
+		ex, err = s.expandPeriods()
+	case KindAblation:
+		ex, err = s.expandAblation()
+	case KindSensitivity:
+		ex, err = s.expandSensitivity(c)
+	case "":
+		return nil, fmt.Errorf("scenario %q: kind is required (one of %s)", s.Name, kindList)
+	default:
+		return nil, fmt.Errorf("scenario %q: unknown kind %q (one of %s)", s.Name, s.Kind, kindList)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	for i := range ex.cells {
+		if err := ex.cells[i].Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %q: cell %d: %w", s.Name, i, err)
+		}
+	}
+	return ex, nil
+}
+
+// CellCount reports how many cells a scenario expands into under the
+// campaign's defaults (0 when the spec is invalid). Used by dry runs.
+func CellCount(c *Campaign, s *Spec) int {
+	ex, err := s.expand(c)
+	if err != nil {
+		return 0
+	}
+	return len(ex.cells)
+}
+
+// seed returns the spec seed, falling back to the campaign default.
+func (s *Spec) seed(c *Campaign) uint64 {
+	if s.Seed != nil {
+		return *s.Seed
+	}
+	return c.seed()
+}
+
+// repsOr returns the spec repetition count, falling back to the campaign
+// default.
+func (s *Spec) repsOr(c *Campaign) int {
+	if s.Reps > 0 {
+		return s.Reps
+	}
+	return c.reps()
+}
+
+// distOrExp canonicalizes an optional distribution to the exponential
+// default, so equal scenarios hash equally however they spell the default.
+func distOrExp(d *DistSpec) *DistSpec {
+	if d == nil {
+		return &DistSpec{Name: DistExponential}
+	}
+	cp := *d
+	if cp.Name == DistExponential {
+		cp.Shape = 0
+	}
+	return &cp
+}
+
+// Heatmap output variants.
+const (
+	OutputModel = "model"
+	OutputSim   = "sim"
+	OutputDiff  = "diff"
+)
+
+func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
+	output := s.Output
+	if output == "" {
+		output = OutputModel
+	}
+	if output != OutputModel && output != OutputSim && output != OutputDiff {
+		return nil, fmt.Errorf("unknown output %q (want model, sim or diff)", s.Output)
+	}
+	if output == OutputModel {
+		// The analytic output never simulates; accepting these would let a
+		// user believe e.g. a Weibull failure law took effect.
+		switch {
+		case s.Distribution != nil:
+			return nil, fmt.Errorf("field %q only applies to output sim or diff", "distribution")
+		case s.Seed != nil:
+			return nil, fmt.Errorf("field %q only applies to output sim or diff", "seed")
+		case s.Reps != 0:
+			return nil, fmt.Errorf("field %q only applies to output sim or diff", "reps")
+		}
+	}
+	if s.Protocol == "" {
+		return nil, fmt.Errorf("heatmap specs need a protocol")
+	}
+	proto, err := ParseProtocol(s.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	platformName := s.Platform
+	if platformName == "" {
+		platformName = "paper-fig7"
+	}
+	plat, err := LookupPlatform(platformName)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := s.PlatformOverrides.apply(plat.Params)
+	mtbfMinutes, err := s.MTBFMinutes.Resolve(sweep.Linspace(60, 240, 19))
+	if err != nil {
+		return nil, err
+	}
+	alphas, err := s.Alphas.Resolve(sweep.Linspace(0, 1, 21))
+	if err != nil {
+		return nil, err
+	}
+	if len(mtbfMinutes) == 0 || len(alphas) == 0 {
+		return nil, fmt.Errorf("heatmap axes must be non-empty")
+	}
+	reps := s.repsOr(c)
+	seed := s.seed(c)
+	opts := s.Options.model()
+	dist := distOrExp(s.Distribution)
+
+	paramsAt := func(row, col int) *model.Params {
+		p := tmpl
+		p.Alpha = alphas[row]
+		p.Mu = mtbfMinutes[col] * model.Minute
+		return &p
+	}
+	var cells []CellSpec
+	grid := func(op string) {
+		for row := range alphas {
+			for col := range mtbfMinutes {
+				cell := CellSpec{Op: op, Protocol: s.Protocol, Params: paramsAt(row, col), Options: opts}
+				if op == OpSim {
+					cell.Epochs = 1
+					cell.Reps = reps
+					cell.Seed = rng.At(seed, uint64(proto), uint64(row), uint64(col))
+					cell.Dist = dist
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	if output == OutputModel || output == OutputDiff {
+		grid(OpModel)
+	}
+	if output == OutputSim || output == OutputDiff {
+		grid(OpSim)
+	}
+
+	title := s.Title
+	if title == "" {
+		switch output {
+		case OutputModel:
+			title = fmt.Sprintf("Waste of %v: Model (%s)", proto, plat.Desc)
+		case OutputSim:
+			title = fmt.Sprintf("Waste of %v: Simulation (%d runs/cell)", proto, reps)
+		case OutputDiff:
+			title = fmt.Sprintf("%v: Difference WASTE_simul - WASTE_model", proto)
+		}
+	}
+	lo, hi := 0.0, 1.0
+	if output == OutputDiff {
+		lo, hi = -0.14, 0.14
+	}
+	if s.Render != nil {
+		lo, hi = s.Render.Lo, s.Render.Hi
+	}
+
+	assemble := func(results []CellResult) ([]Artifact, error) {
+		rows, cols := len(alphas), len(mtbfMinutes)
+		z := sweep.NewMatrix(rows, cols)
+		for i := 0; i < rows*cols; i++ {
+			row, col := i/cols, i%cols
+			switch output {
+			case OutputModel:
+				z.Set(row, col, float64(results[i].Model.Waste))
+			case OutputSim:
+				z.Set(row, col, float64(results[i].Sim.WasteMean))
+			case OutputDiff:
+				diff := float64(results[rows*cols+i].Sim.WasteMean) - float64(results[i].Model.Waste)
+				z.Set(row, col, diff)
+			}
+		}
+		return []Artifact{{
+			Name: s.Name,
+			Heatmap: &plot.Heatmap{
+				Title:  title,
+				XLabel: "MTBF system (minutes)",
+				YLabel: "Ratio of time spent in Library Phase (alpha)",
+				Xs:     mtbfMinutes,
+				Ys:     alphas,
+				Z:      z,
+			},
+			RenderLo: lo,
+			RenderHi: hi,
+		}}, nil
+	}
+	return &expansion{spec: s, artifacts: []string{s.Name}, cells: cells, assemble: assemble}, nil
+}
+
+// resolveSeries turns a SeriesSpec into its study, protocol and name.
+func resolveSeries(sp SeriesSpec) (model.WeakScaling, model.Protocol, string, error) {
+	plat, err := LookupScalingPlatform(sp.Platform)
+	if err != nil {
+		return model.WeakScaling{}, 0, "", err
+	}
+	w, err := sp.Overrides.apply(plat.Scaling)
+	if err != nil {
+		return model.WeakScaling{}, 0, "", err
+	}
+	if sp.AggregateEpochs != nil {
+		w.AggregateEpochs = *sp.AggregateEpochs
+	}
+	proto, err := ParseProtocol(sp.Protocol)
+	if err != nil {
+		return model.WeakScaling{}, 0, "", err
+	}
+	name := sp.Name
+	if name == "" {
+		name = proto.String()
+	}
+	return w, proto, name, nil
+}
+
+func (s *Spec) expandScaling() (*expansion, error) {
+	if len(s.Series) == 0 {
+		return nil, fmt.Errorf("scaling specs need at least one series")
+	}
+	nodes, err := s.Nodes.Resolve(model.DefaultNodeCounts())
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("node axis must be non-empty")
+	}
+	opts := s.Options.model()
+	type series struct {
+		name  string
+		study model.WeakScaling
+	}
+	resolved := make([]series, 0, len(s.Series))
+	var cells []CellSpec
+	for _, sp := range s.Series {
+		w, _, name, err := resolveSeries(sp)
+		if err != nil {
+			return nil, err
+		}
+		resolved = append(resolved, series{name: name, study: w})
+		for _, n := range nodes {
+			study := w
+			cells = append(cells, CellSpec{
+				Op: OpScaling, Protocol: sp.Protocol, Scaling: &study, Nodes: n, Options: opts,
+			})
+		}
+	}
+	title := s.Title
+	if title == "" {
+		title = s.Name
+	}
+	assemble := func(results []CellResult) ([]Artifact, error) {
+		waste := &plot.LineChart{
+			Title: title + " - waste", XLabel: "Nodes", YLabel: "Waste", Xs: nodes, LogX: true,
+		}
+		faults := &plot.LineChart{
+			Title: title + " - expected faults", XLabel: "Nodes", YLabel: "# Faults", Xs: nodes, LogX: true,
+		}
+		for si, sr := range resolved {
+			w := make([]float64, len(nodes))
+			f := make([]float64, len(nodes))
+			for ni := range nodes {
+				res := results[si*len(nodes)+ni].Model
+				w[ni] = float64(res.Waste)
+				if math.IsInf(float64(res.ExpectedFaults), 1) {
+					f[ni] = math.NaN() // infeasible: no finite fault count
+				} else {
+					f[ni] = float64(res.ExpectedFaults)
+				}
+			}
+			waste.Series = append(waste.Series, plot.Series{Name: sr.name, Values: w})
+			faults.Series = append(faults.Series, plot.Series{Name: sr.name, Values: f})
+		}
+		return []Artifact{
+			{Name: s.Name + "_waste", Chart: waste},
+			{Name: s.Name + "_faults", Chart: faults},
+		}, nil
+	}
+	return &expansion{spec: s, artifacts: []string{s.Name + "_waste", s.Name + "_faults"}, cells: cells, assemble: assemble}, nil
+}
+
+func (s *Spec) expandPoints() (*expansion, error) {
+	if len(s.Rows) == 0 {
+		return nil, fmt.Errorf("points specs need at least one row")
+	}
+	var cells []CellSpec
+	labels := make([]string, 0, len(s.Rows))
+	opts := s.Options.model()
+	for _, row := range s.Rows {
+		nodes := 0.0
+		if row.Nodes != nil {
+			nodes = *row.Nodes
+		} else if s.AtNodes != nil {
+			nodes = *s.AtNodes
+		}
+		if nodes <= 0 {
+			return nil, fmt.Errorf("row %q needs nodes > 0 (set nodes or at_nodes)", row.Label)
+		}
+		w, _, _, err := resolveSeries(SeriesSpec{Platform: row.Platform, Protocol: row.Protocol, Overrides: row.Overrides})
+		if err != nil {
+			return nil, err
+		}
+		study := w
+		cells = append(cells, CellSpec{
+			Op: OpScaling, Protocol: row.Protocol, Scaling: &study, Nodes: nodes, Options: opts,
+		})
+		labels = append(labels, row.Label)
+	}
+	title := s.Title
+	if title == "" {
+		title = s.Name
+	}
+	assemble := func(results []CellResult) ([]Artifact, error) {
+		t := &plot.Table{
+			Title:   title,
+			Columns: []string{"configuration", "waste", "expected faults/app"},
+		}
+		for i, res := range results {
+			t.AddRow(labels[i],
+				fmt.Sprintf("%.4f", float64(res.Model.Waste)),
+				fmt.Sprintf("%.1f", float64(res.Model.ExpectedFaults)))
+		}
+		return []Artifact{{Name: s.Name, Table: t}}, nil
+	}
+	return &expansion{spec: s, artifacts: []string{s.Name}, cells: cells, assemble: assemble}, nil
+}
+
+func (s *Spec) expandPeriods() (*expansion, error) {
+	costs := s.CkptCosts
+	if len(costs) == 0 {
+		costs = []float64{model.Minute, 10 * model.Minute}
+	}
+	mtbfs := s.MTBFs
+	if len(mtbfs) == 0 {
+		mtbfs = []float64{model.Hour, 6 * model.Hour, model.Day}
+	}
+	d := model.Minute
+	if s.Downtime != nil {
+		d = *s.Downtime
+	}
+	if d < 0 {
+		return nil, fmt.Errorf("downtime must be non-negative")
+	}
+	var cells []CellSpec
+	for _, cost := range costs {
+		for _, mu := range mtbfs {
+			// The paper's convention R = C: recovery reloads what was saved.
+			cells = append(cells, CellSpec{
+				Op: OpPeriods, Probe: &PeriodsProbe{C: cost, Mu: mu, D: d, R: cost},
+			})
+		}
+	}
+	title := s.Title
+	if title == "" {
+		title = fmt.Sprintf("Optimal checkpoint periods: Eq.(11) vs Young vs Daly (D=%s, R=C)", fmtDur(d))
+	}
+	assemble := func(results []CellResult) ([]Artifact, error) {
+		t := &plot.Table{
+			Title: title,
+			Columns: []string{"C", "MTBF", "P eq11 (s)", "P young (s)", "P daly (s)",
+				"waste@eq11", "waste@young", "waste@daly"},
+		}
+		i := 0
+		for _, cost := range costs {
+			for _, mu := range mtbfs {
+				res := results[i].Periods
+				i++
+				if !res.Eq11Feasible {
+					t.AddRow(fmtDur(cost), fmtDur(mu), "infeasible", "", "", "", "", "")
+					continue
+				}
+				t.AddRow(fmtDur(cost), fmtDur(mu),
+					fmt.Sprintf("%.0f", float64(res.Eq11)),
+					fmt.Sprintf("%.0f", float64(res.Young)),
+					fmt.Sprintf("%.0f", float64(res.Daly)),
+					fmt.Sprintf("%.4f", float64(res.WasteEq11)),
+					fmt.Sprintf("%.4f", float64(res.WasteYoung)),
+					fmt.Sprintf("%.4f", float64(res.WasteDaly)))
+			}
+		}
+		return []Artifact{{Name: s.Name, Table: t}}, nil
+	}
+	return &expansion{spec: s, artifacts: []string{s.Name}, cells: cells, assemble: assemble}, nil
+}
+
+// Ablation variants.
+const (
+	VariantEpochs    = "epochs"
+	VariantSafeguard = "safeguard"
+)
+
+func (s *Spec) expandAblation() (*expansion, error) {
+	if s.Variant != VariantEpochs && s.Variant != VariantSafeguard {
+		return nil, fmt.Errorf("ablation variant must be %q or %q, got %q", VariantEpochs, VariantSafeguard, s.Variant)
+	}
+	platformName := s.Platform
+	if platformName == "" {
+		platformName = "paper-fig8-const-ckpt"
+	}
+	plat, err := LookupScalingPlatform(platformName)
+	if err != nil {
+		return nil, err
+	}
+	protocol := s.Protocol
+	if protocol == "" {
+		protocol = ProtoAbft
+	}
+	if _, err := ParseProtocol(protocol); err != nil {
+		return nil, err
+	}
+	nodes, err := s.Nodes.Resolve([]float64{1_000, 10_000, 100_000, 1_000_000})
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("node axis must be non-empty")
+	}
+	opts := s.Options.model()
+
+	var cells []CellSpec
+	var columns []string
+	var title string
+	switch s.Variant {
+	case VariantEpochs:
+		per := plat.Scaling
+		per.AggregateEpochs = false
+		agg := plat.Scaling
+		agg.AggregateEpochs = true
+		for _, n := range nodes {
+			perStudy, aggStudy := per, agg
+			cells = append(cells,
+				CellSpec{Op: OpScaling, Protocol: protocol, Scaling: &perStudy, Nodes: n, Options: opts},
+				CellSpec{Op: OpScaling, Protocol: protocol, Scaling: &aggStudy, Nodes: n, Options: opts})
+		}
+		columns = []string{"nodes", "waste per-epoch", "waste aggregated"}
+		title = fmt.Sprintf("Ablation: composite waste, per-epoch forced checkpoints vs aggregated epochs (%s)", plat.Desc)
+	case VariantSafeguard:
+		off := opts
+		off.Safeguard = false
+		on := opts
+		on.Safeguard = true
+		for _, n := range nodes {
+			study1, study2 := plat.Scaling, plat.Scaling
+			cells = append(cells,
+				CellSpec{Op: OpScaling, Protocol: protocol, Scaling: &study1, Nodes: n, Options: off},
+				CellSpec{Op: OpScaling, Protocol: protocol, Scaling: &study2, Nodes: n, Options: on})
+		}
+		columns = []string{"nodes", "waste no safeguard", "waste safeguard", "ABFT active"}
+		title = fmt.Sprintf("Ablation: composite waste with and without the ABFT-activation safeguard (%s)", plat.Desc)
+	}
+	if s.Title != "" {
+		title = s.Title
+	}
+	variant := s.Variant
+	assemble := func(results []CellResult) ([]Artifact, error) {
+		t := &plot.Table{Title: title, Columns: columns}
+		for i, n := range nodes {
+			a, b := results[2*i].Model, results[2*i+1].Model
+			if variant == VariantEpochs {
+				t.AddRow(fmt.Sprintf("%.0f", n),
+					fmt.Sprintf("%.4f", float64(a.Waste)),
+					fmt.Sprintf("%.4f", float64(b.Waste)))
+			} else {
+				t.AddRow(fmt.Sprintf("%.0f", n),
+					fmt.Sprintf("%.4f", float64(a.Waste)),
+					fmt.Sprintf("%.4f", float64(b.Waste)),
+					fmt.Sprintf("%v", b.ABFTActive))
+			}
+		}
+		return []Artifact{{Name: s.Name, Table: t}}, nil
+	}
+	return &expansion{spec: s, artifacts: []string{s.Name}, cells: cells, assemble: assemble}, nil
+}
+
+func (s *Spec) expandSensitivity(c *Campaign) (*expansion, error) {
+	if len(s.Cases) == 0 {
+		return nil, fmt.Errorf("sensitivity specs need at least one case")
+	}
+	platformName := s.Platform
+	if platformName == "" {
+		platformName = "paper-fig7"
+	}
+	plat, err := LookupPlatform(platformName)
+	if err != nil {
+		return nil, err
+	}
+	p := s.PlatformOverrides.apply(plat.Params)
+	p.Mu = 2 * model.Hour
+	if s.MTBF != nil {
+		p.Mu = *s.MTBF
+	}
+	p.Alpha = 0.8
+	if s.Alpha != nil {
+		p.Alpha = *s.Alpha
+	}
+	reps := s.repsOr(c)
+	seed := s.seed(c)
+	opts := s.Options.model()
+
+	var cells []CellSpec
+	for i, cs := range s.Cases {
+		if cs.Name == "" {
+			return nil, fmt.Errorf("case %d needs a name", i)
+		}
+		d := DistSpec{Name: cs.Dist, Shape: cs.Shape}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("case %q: %w", cs.Name, err)
+		}
+		for _, proto := range model.Protocols {
+			cellSeed := rng.At(seed, uint64(i), uint64(proto))
+			if len(cs.SeedPath) > 0 {
+				cellSeed = rng.At(seed, cs.SeedPath...)
+			}
+			params := p
+			cells = append(cells, CellSpec{
+				Op: OpSim, Protocol: ProtocolName(proto), Params: &params, Options: opts,
+				Epochs: 1, Reps: reps, Seed: cellSeed, Dist: distOrExp(&d),
+			})
+		}
+	}
+	label := s.Label
+	if label == "" {
+		label = "distribution"
+	}
+	title := s.Title
+	if title == "" {
+		title = fmt.Sprintf("Sensitivity: simulated waste vs failure process at equal MTBF (mu=%s, alpha=%g)",
+			fmtDur(p.Mu), p.Alpha)
+	}
+	cases := s.Cases
+	assemble := func(results []CellResult) ([]Artifact, error) {
+		t := &plot.Table{
+			Title:   title,
+			Columns: []string{label, "pure waste", "bi waste", "composite waste"},
+		}
+		for i, cs := range cases {
+			row := []string{cs.Name}
+			for j := range model.Protocols {
+				res := results[i*len(model.Protocols)+j].Sim
+				row = append(row, fmt.Sprintf("%.4f", float64(res.WasteMean)))
+			}
+			t.AddRow(row...)
+		}
+		return []Artifact{{Name: s.Name, Table: t}}, nil
+	}
+	return &expansion{spec: s, artifacts: []string{s.Name}, cells: cells, assemble: assemble}, nil
+}
+
+// fmtDur renders a duration in seconds with the largest fitting unit, as
+// used in table cells and default titles ("2h", "10min", "1d").
+func fmtDur(seconds float64) string {
+	switch {
+	case seconds >= model.Day:
+		return fmt.Sprintf("%gd", seconds/model.Day)
+	case seconds >= model.Hour:
+		return fmt.Sprintf("%gh", seconds/model.Hour)
+	case seconds >= model.Minute:
+		return fmt.Sprintf("%gmin", seconds/model.Minute)
+	default:
+		return fmt.Sprintf("%gs", seconds)
+	}
+}

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CellEvent reports the completion of one unique cell, streamed to
+// Runner.OnEvent as the campaign progresses.
+type CellEvent struct {
+	// Hash is the cell's cache key.
+	Hash string
+	// Index counts completed unique cells (1-based); Total is the unique
+	// cell count of the campaign.
+	Index, Total int
+	// Cached reports a cache hit (no execution happened).
+	Cached bool
+	// Elapsed is the execution time (zero for cache hits).
+	Elapsed time.Duration
+}
+
+// Report summarizes one campaign run.
+type Report struct {
+	// Campaign is the campaign name.
+	Campaign string
+	// Cells is the total number of cell references across all scenarios;
+	// Unique deduplicates shared cells (e.g. a model heatmap and the
+	// difference heatmap reusing it).
+	Cells, Unique int
+	// CacheHits and Executed partition the unique cells.
+	CacheHits, Executed int
+	// Artifacts holds the finished outputs in campaign order.
+	Artifacts []Artifact
+}
+
+// Runner executes campaigns: it expands every scenario into cells,
+// deduplicates them, loads what the cache already has, executes the rest on
+// a worker pool, and assembles artifacts as soon as their cells complete.
+type Runner struct {
+	// CacheDir is the on-disk cell cache; empty disables caching.
+	CacheDir string
+	// Workers bounds cell-level parallelism (0: NumCPU). Simulation cells
+	// run single-threaded inside, so cells are the unit of parallelism;
+	// results are bit-identical for any worker count.
+	Workers int
+	// OnEvent, when set, receives a CellEvent per unique cell. Callbacks
+	// are never invoked concurrently.
+	OnEvent func(CellEvent)
+	// OnArtifact, when set, receives each artifact as soon as the scenario
+	// producing it completes (before Run returns). Callbacks are never
+	// invoked concurrently.
+	OnArtifact func(Artifact)
+}
+
+// cellState tracks one unique cell through a run.
+type cellState struct {
+	spec   CellSpec
+	result CellResult
+	done   bool
+	cached bool
+}
+
+// Run validates and executes the campaign. On cell or cache errors the
+// first error is returned after in-flight cells drain.
+func (r *Runner) Run(c *Campaign) (*Report, error) {
+	if c == nil {
+		return nil, fmt.Errorf("scenario: nil campaign")
+	}
+
+	// Expand every scenario and deduplicate cells by content hash.
+	type specRun struct {
+		ex      *expansion
+		hashes  []string
+		pending int
+		slot    int // artifact position in the report
+	}
+	exs, err := c.expandAll()
+	if err != nil {
+		return nil, err
+	}
+	states := map[string]*cellState{}
+	var order []string // unique cells in first-reference order
+	runs := make([]*specRun, 0, len(exs))
+	totalRefs := 0
+	for i, ex := range exs {
+		run := &specRun{ex: ex, slot: i}
+		for _, cell := range ex.cells {
+			h := cell.Hash()
+			if _, ok := states[h]; !ok {
+				states[h] = &cellState{spec: cell}
+				order = append(order, h)
+			}
+			run.hashes = append(run.hashes, h)
+		}
+		totalRefs += len(ex.cells)
+		runs = append(runs, run)
+	}
+
+	report := &Report{Campaign: c.Name, Cells: totalRefs, Unique: len(order)}
+
+	// Load whatever the cache already has.
+	var todo []string
+	for _, h := range order {
+		st := states[h]
+		if res, ok := loadCell(r.CacheDir, st.spec); ok {
+			st.result, st.done, st.cached = res, true, true
+			report.CacheHits++
+		} else {
+			todo = append(todo, h)
+		}
+	}
+	report.Executed = len(todo)
+
+	// Assembly bookkeeping: a scenario assembles once all its cells are
+	// done; cache hits count immediately. subscribers indexes, per
+	// not-yet-done cell, every scenario reference waiting on it (one entry
+	// per reference), so completion is O(references to that cell).
+	artifacts := make([][]Artifact, len(runs))
+	var mu sync.Mutex
+	var firstErr error
+	completed := 0
+	finishSpec := func(run *specRun) error {
+		results := make([]CellResult, len(run.hashes))
+		for i, h := range run.hashes {
+			results[i] = states[h].result
+		}
+		arts, err := run.ex.assemble(results)
+		if err != nil {
+			return fmt.Errorf("scenario %q: assemble: %w", run.ex.spec.Name, err)
+		}
+		artifacts[run.slot] = arts
+		if r.OnArtifact != nil {
+			for _, a := range arts {
+				r.OnArtifact(a)
+			}
+		}
+		return nil
+	}
+	subscribers := map[string][]*specRun{}
+	for _, run := range runs {
+		for _, h := range run.hashes {
+			if !states[h].done {
+				run.pending++
+				subscribers[h] = append(subscribers[h], run)
+			}
+		}
+		if run.pending == 0 {
+			if err := finishSpec(run); err != nil {
+				return nil, err
+			}
+		}
+	}
+	emit := func(ev CellEvent) {
+		if r.OnEvent != nil {
+			r.OnEvent(ev)
+		}
+	}
+	for _, h := range order {
+		if st := states[h]; st.cached {
+			completed++
+			emit(CellEvent{Hash: h, Index: completed, Total: len(order), Cached: true})
+		}
+	}
+
+	// Execute the remaining cells on the pool. Completion handling runs
+	// under the mutex: mark the cell done, decrement every subscribed
+	// scenario, assemble those that hit zero.
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if len(todo) > 0 {
+		jobs := make(chan string)
+		var wg sync.WaitGroup
+		failed := func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return firstErr != nil
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for h := range jobs {
+					// After the first error only drain the queue; do not
+					// start new work.
+					if failed() {
+						continue
+					}
+					st := states[h]
+					start := time.Now()
+					res, err := st.spec.Execute()
+					elapsed := time.Since(start)
+					if err == nil {
+						err = storeCell(r.CacheDir, st.spec, res, float64(elapsed.Microseconds())/1000)
+					}
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+					st.result, st.done = res, true
+					completed++
+					// Callbacks run under the lock: they are never invoked
+					// concurrently, at the price of serializing progress
+					// reporting (cell execution itself stays parallel).
+					emit(CellEvent{Hash: h, Index: completed, Total: len(order), Elapsed: elapsed})
+					// A scenario may reference the same cell more than once;
+					// subscribers holds one entry per reference, so every
+					// reference is decremented exactly once.
+					for _, run := range subscribers[h] {
+						if firstErr != nil {
+							break
+						}
+						run.pending--
+						if run.pending == 0 && artifacts[run.slot] == nil {
+							if err := finishSpec(run); err != nil && firstErr == nil {
+								firstErr = err
+							}
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, h := range todo {
+			jobs <- h
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, arts := range artifacts {
+		report.Artifacts = append(report.Artifacts, arts...)
+	}
+	return report, nil
+}

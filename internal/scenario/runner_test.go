@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testCampaign mixes every cell op: a model heatmap, a diff heatmap reusing
+// its model cells, a scaling chart, a points table, a periods table, an
+// ablation and a small simulation-backed sensitivity scan.
+func testCampaign() *Campaign {
+	nodes := 1_000_000.0
+	return &Campaign{
+		Name: "test",
+		Reps: 3,
+		Scenarios: []*Spec{
+			{Name: "hm", Kind: KindHeatmap, Protocol: ProtoAbft,
+				MTBFMinutes: &Axis{Values: []float64{60, 240}},
+				Alphas:      &Axis{Values: []float64{0, 1}}},
+			{Name: "hd", Kind: KindHeatmap, Protocol: ProtoAbft, Output: OutputDiff,
+				MTBFMinutes: &Axis{Values: []float64{60, 240}},
+				Alphas:      &Axis{Values: []float64{0, 1}}},
+			{Name: "sc", Kind: KindScaling,
+				Nodes: &Axis{Values: []float64{10_000, 1_000_000}},
+				Series: []SeriesSpec{
+					{Platform: "paper-fig10", Protocol: ProtoPure},
+					{Platform: "paper-fig10", Protocol: ProtoAbft},
+				}},
+			{Name: "pt", Kind: KindPoints, AtNodes: &nodes,
+				Rows: []PointSpec{{Label: "pure", Platform: "paper-fig10", Protocol: ProtoPure}}},
+			{Name: "pd", Kind: KindPeriods},
+			{Name: "ab", Kind: KindAblation, Variant: VariantSafeguard,
+				Nodes: &Axis{Values: []float64{1_000_000}}},
+			{Name: "sn", Kind: KindSensitivity,
+				Cases: []CaseSpec{{Name: "exponential", Dist: DistExponential}}},
+		},
+	}
+}
+
+func artifactCSVs(t *testing.T, rep *Report) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, a := range rep.Artifacts {
+		var buf bytes.Buffer
+		if err := a.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out[a.Name] = buf.Bytes()
+	}
+	return out
+}
+
+// TestRunnerCacheRerun is the acceptance check of the campaign cache:
+// rerunning an unchanged campaign hits the cache for every unique cell and
+// re-executes zero cells, while producing byte-identical artifacts.
+func TestRunnerCacheRerun(t *testing.T) {
+	cache := t.TempDir()
+	c := testCampaign()
+	r := &Runner{CacheDir: cache, Workers: 4}
+	first, err := r.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed != first.Unique || first.CacheHits != 0 {
+		t.Fatalf("cold run: executed=%d cached=%d unique=%d", first.Executed, first.CacheHits, first.Unique)
+	}
+	second, err := r.Run(testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Executed != 0 {
+		t.Fatalf("warm rerun executed %d cells, want 0", second.Executed)
+	}
+	if second.CacheHits != second.Unique {
+		t.Fatalf("warm rerun: cached=%d unique=%d", second.CacheHits, second.Unique)
+	}
+	a, b := artifactCSVs(t, first), artifactCSVs(t, second)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("artifact count changed: %d vs %d", len(a), len(b))
+	}
+	for name, csv := range a {
+		if !bytes.Equal(csv, b[name]) {
+			t.Errorf("artifact %s differs between cold and warm run", name)
+		}
+	}
+	// Changing the campaign invalidates only the touched cells.
+	c3 := testCampaign()
+	c3.Reps = 4 // only simulation cells depend on reps
+	third, err := r.Run(c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 2x2 diff-heatmap grid plus one sensitivity case x three
+	// protocols are the only simulation cells; everything analytic stays
+	// cached.
+	if third.Executed != 7 {
+		t.Fatalf("reps change should re-execute exactly the 7 sim cells, got %d", third.Executed)
+	}
+}
+
+// TestRunnerDedup checks that the diff heatmap reuses the model heatmap's
+// cells instead of recomputing them.
+func TestRunnerDedup(t *testing.T) {
+	c := testCampaign()
+	r := &Runner{Workers: 2}
+	rep, err := r.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unique >= rep.Cells {
+		t.Fatalf("expected shared cells: unique=%d cells=%d", rep.Unique, rep.Cells)
+	}
+}
+
+// TestRunnerStreaming checks the event and artifact callbacks fire for
+// every unique cell and every artifact before Run returns.
+func TestRunnerStreaming(t *testing.T) {
+	events, arts := 0, 0
+	r := &Runner{
+		Workers:    2,
+		OnEvent:    func(CellEvent) { events++ },
+		OnArtifact: func(Artifact) { arts++ },
+	}
+	rep, err := r.Run(testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != rep.Unique {
+		t.Errorf("events=%d, want one per unique cell (%d)", events, rep.Unique)
+	}
+	if arts != len(rep.Artifacts) {
+		t.Errorf("artifact callbacks=%d, want %d", arts, len(rep.Artifacts))
+	}
+	// Scaling specs emit two charts; the report keeps campaign order.
+	wantNames := []string{"hm", "hd", "sc_waste", "sc_faults", "pt", "pd", "ab", "sn"}
+	if len(rep.Artifacts) != len(wantNames) {
+		t.Fatalf("artifact count %d, want %d", len(rep.Artifacts), len(wantNames))
+	}
+	for i, a := range rep.Artifacts {
+		if a.Name != wantNames[i] {
+			t.Errorf("artifact %d = %q, want %q", i, a.Name, wantNames[i])
+		}
+	}
+}
+
+// TestRunnerWorkerInvariance checks results do not depend on the worker
+// count (cells address their random streams absolutely).
+func TestRunnerWorkerInvariance(t *testing.T) {
+	r1 := &Runner{Workers: 1}
+	r8 := &Runner{Workers: 8}
+	rep1, err := r1.Run(testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep8, err := r8.Run(testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := artifactCSVs(t, rep1), artifactCSVs(t, rep8)
+	for name, csv := range a {
+		if !bytes.Equal(csv, b[name]) {
+			t.Errorf("artifact %s depends on the worker count", name)
+		}
+	}
+}
+
+// TestCacheCorruptionDegradesToMiss checks a damaged cache file is
+// re-executed, not trusted.
+func TestCacheCorruptionDegradesToMiss(t *testing.T) {
+	cache := t.TempDir()
+	r := &Runner{CacheDir: cache, Workers: 2}
+	if _, err := r.Run(testCampaign()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every cache file.
+	err := filepath.Walk(cache, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		return os.WriteFile(path, []byte("not json"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits != 0 || rep.Executed != rep.Unique {
+		t.Fatalf("corrupt cache should miss everywhere: hits=%d executed=%d", rep.CacheHits, rep.Executed)
+	}
+}
+
+// TestRunnerRejectsInvalid checks Run validates before executing.
+func TestRunnerRejectsInvalid(t *testing.T) {
+	r := &Runner{}
+	if _, err := r.Run(nil); err == nil {
+		t.Error("nil campaign should fail")
+	}
+	if _, err := r.Run(&Campaign{Name: "x"}); err == nil {
+		t.Error("empty campaign should fail")
+	}
+	bad := testCampaign()
+	bad.Scenarios[0].Protocol = "bogus"
+	if _, err := r.Run(bad); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Errorf("invalid spec should fail with a protocol error, got %v", err)
+	}
+}

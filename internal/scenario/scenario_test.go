@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"abftckpt/internal/model"
+)
+
+// minimal returns a valid one-scenario campaign JSON for mutation tests.
+func minimal() string {
+	return `{
+		"name": "t",
+		"scenarios": [
+			{"name": "h", "kind": "heatmap", "protocol": "abft",
+			 "mtbf_minutes": {"values": [60, 120]}, "alphas": {"values": [0, 1]}}
+		]
+	}`
+}
+
+func TestLoadValid(t *testing.T) {
+	c, err := Load(strings.NewReader(minimal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "t" || len(c.Scenarios) != 1 {
+		t.Fatalf("unexpected campaign: %+v", c)
+	}
+	if got := CellCount(c, c.Scenarios[0]); got != 4 {
+		t.Fatalf("cell count = %d, want 4", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the error
+	}{
+		{"unknown field", `{"name":"t","scenarios":[],"bogus":1}`, "bogus"},
+		{"no scenarios", `{"name":"t","scenarios":[]}`, "no scenarios"},
+		{"negative campaign reps", `{"name":"t","reps":-1,"scenarios":[{"name":"a","kind":"periods"}]}`, "reps"},
+		{"missing scenario name", `{"name":"t","scenarios":[{"kind":"periods"}]}`, "no name"},
+		{"duplicate names", `{"name":"t","scenarios":[{"name":"a","kind":"periods"},{"name":"a","kind":"periods"}]}`, "duplicate"},
+		{"missing kind", `{"name":"t","scenarios":[{"name":"a"}]}`, "kind is required"},
+		{"unknown kind", `{"name":"t","scenarios":[{"name":"a","kind":"pie"}]}`, "unknown kind"},
+		{"heatmap without protocol", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap"}]}`, "protocol"},
+		{"unknown protocol", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"best"}]}`, "unknown protocol"},
+		{"unknown platform", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"abft","platform":"nope"}]}`, "unknown platform"},
+		{"unknown output", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"abft","output":"png"}]}`, "unknown output"},
+		{"bad axis range", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"abft","alphas":{"from":0}}]}`, "range axis"},
+		{"conflicting axis", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"abft","alphas":{"values":[1],"preset":"paper-nodes"}}]}`, "exactly one"},
+		{"unknown preset", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"abft","alphas":{"preset":"galaxy"}}]}`, "unknown axis preset"},
+		{"non-finite axis", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"abft","alphas":{"values":[1e999]}}]}`, "parse"},
+		{"scaling without series", `{"name":"t","scenarios":[{"name":"a","kind":"scaling"}]}`, "at least one series"},
+		{"unknown scaling platform", `{"name":"t","scenarios":[{"name":"a","kind":"scaling","series":[{"platform":"nope","protocol":"pure"}]}]}`, "unknown scaling platform"},
+		{"bad scaling law", `{"name":"t","scenarios":[{"name":"a","kind":"scaling","series":[{"platform":"paper-fig10","protocol":"pure","overrides":{"ckpt_scaling":"cubic"}}]}]}`, "unknown scaling law"},
+		{"points without rows", `{"name":"t","scenarios":[{"name":"a","kind":"points"}]}`, "at least one row"},
+		{"points without nodes", `{"name":"t","scenarios":[{"name":"a","kind":"points","rows":[{"label":"x","platform":"paper-fig10","protocol":"pure"}]}]}`, "nodes > 0"},
+		{"bad ablation variant", `{"name":"t","scenarios":[{"name":"a","kind":"ablation","variant":"color"}]}`, "ablation variant"},
+		{"sensitivity without cases", `{"name":"t","scenarios":[{"name":"a","kind":"sensitivity"}]}`, "at least one case"},
+		{"unknown distribution", `{"name":"t","scenarios":[{"name":"a","kind":"sensitivity","cases":[{"name":"x","dist":"cauchy"}]}]}`, "unknown distribution"},
+		{"missing shape", `{"name":"t","scenarios":[{"name":"a","kind":"sensitivity","cases":[{"name":"x","dist":"weibull"}]}]}`, "shape > 0"},
+		{"negative spec reps", `{"name":"t","scenarios":[{"name":"a","kind":"sensitivity","reps":-2,"cases":[{"name":"x","dist":"exp"}]}]}`, "reps"},
+		{"negative fixed period", `{"name":"t","scenarios":[{"name":"a","kind":"periods","options":{"fixed_period_g":-1}}]}`, "non-negative"},
+		{"heatmap with series", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"abft","series":[{"platform":"paper-fig10","protocol":"pure"}]}]}`, `field "series" does not apply`},
+		{"sensitivity with heatmap axis", `{"name":"t","scenarios":[{"name":"a","kind":"sensitivity","mtbf_minutes":{"values":[60]},"cases":[{"name":"x","dist":"exp"}]}]}`, `field "mtbf_minutes" does not apply`},
+		{"periods with protocol", `{"name":"t","scenarios":[{"name":"a","kind":"periods","protocol":"pure"}]}`, `field "protocol" does not apply`},
+		{"analytic kind with reps", `{"name":"t","scenarios":[{"name":"a","kind":"scaling","reps":500,"series":[{"platform":"paper-fig10","protocol":"pure"}]}]}`, `field "reps" does not apply`},
+		{"analytic kind with seed", `{"name":"t","scenarios":[{"name":"a","kind":"periods","seed":1}]}`, `field "seed" does not apply`},
+		{"model heatmap with distribution", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"abft","distribution":{"name":"weibull","shape":0.7}}]}`, `only applies to output sim or diff`},
+		{"empty axis values", `{"name":"t","scenarios":[{"name":"a","kind":"heatmap","protocol":"abft","output":"sim","alphas":{"values":[]}}]}`, "non-empty"},
+		{"artifact name collision", `{"name":"t","scenarios":[{"name":"x","kind":"scaling","series":[{"platform":"paper-fig10","protocol":"pure"}]},{"name":"x_waste","kind":"periods"}]}`, `both produce artifact "x_waste"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAxisResolve(t *testing.T) {
+	def := []float64{1, 2}
+	if got, _ := (*Axis)(nil).Resolve(def); len(got) != 2 {
+		t.Fatalf("nil axis should yield the default, got %v", got)
+	}
+	from, to := 0.0, 1.0
+	got, err := (&Axis{From: &from, To: &to, Count: 3}).Resolve(nil)
+	if err != nil || len(got) != 3 || got[1] != 0.5 {
+		t.Fatalf("linspace axis = %v (%v)", got, err)
+	}
+	nodes, err := (&Axis{Preset: "paper-nodes"}).Resolve(nil)
+	if err != nil || len(nodes) == 0 || nodes[len(nodes)-1] != 1_000_000 {
+		t.Fatalf("paper-nodes preset = %v (%v)", nodes, err)
+	}
+}
+
+func TestPlatformCatalogue(t *testing.T) {
+	if len(PlatformNames()) == 0 || len(ScalingPlatformNames()) == 0 {
+		t.Fatal("catalogue must not be empty")
+	}
+	p, err := LookupPlatform("paper-fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The catalogue platform must match the paper's Figure 7 parameters.
+	want := model.Fig7Params(2*model.Hour, 0.5)
+	got := p.Params
+	got.Mu, got.Alpha = want.Mu, want.Alpha
+	if got != want {
+		t.Fatalf("paper-fig7 = %+v, want %+v", got, want)
+	}
+	for _, name := range ScalingPlatformNames() {
+		sp, err := LookupScalingPlatform(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Scaling.ParamsAt(sp.Scaling.BaseNodes).Validate(); err != nil {
+			t.Errorf("platform %s yields invalid params: %v", name, err)
+		}
+	}
+}
+
+func TestJSONFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, math.Inf(1), math.Inf(-1), math.NaN()} {
+		b, err := json.Marshal(JSONFloat(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back JSONFloat
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(v) != math.IsNaN(float64(back)) || (!math.IsNaN(v) && v != float64(back)) {
+			t.Errorf("%v -> %s -> %v", v, b, float64(back))
+		}
+	}
+	var f JSONFloat
+	if err := json.Unmarshal([]byte(`"huge"`), &f); err == nil {
+		t.Error("invalid float string should not parse")
+	}
+}
+
+func TestCellHashStability(t *testing.T) {
+	p := model.Fig7Params(2*model.Hour, 0.8)
+	a := CellSpec{Op: OpModel, Protocol: ProtoAbft, Params: &p}
+	b := CellSpec{Op: OpModel, Protocol: ProtoAbft, Params: &p}
+	if a.Hash() != b.Hash() {
+		t.Error("equal specs must hash equally")
+	}
+	q := p
+	q.Alpha = 0.9
+	c := CellSpec{Op: OpModel, Protocol: ProtoAbft, Params: &q}
+	if a.Hash() == c.Hash() {
+		t.Error("different specs must hash differently")
+	}
+}
+
+func TestScalingLawJSON(t *testing.T) {
+	w := model.Fig8Scenario(model.ScaleLinear)
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"linear"`) || !strings.Contains(string(b), `"sqrt"`) {
+		t.Fatalf("scaling laws should serialize by name: %s", b)
+	}
+	var back model.WeakScaling
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != w {
+		t.Fatalf("round trip mismatch: %+v != %+v", back, w)
+	}
+	if err := json.Unmarshal([]byte(`{"CkptScaling":"cubic"}`), &back); err == nil {
+		t.Error("unknown law name should fail to parse")
+	}
+}
