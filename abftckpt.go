@@ -25,10 +25,12 @@ package abftckpt
 
 import (
 	"io"
+	"net/http"
 
 	"abftckpt/internal/dist"
 	"abftckpt/internal/model"
 	"abftckpt/internal/scenario"
+	"abftckpt/internal/server"
 	"abftckpt/internal/sim"
 )
 
@@ -172,4 +174,35 @@ func LoadCampaignFile(path string) (*Campaign, error) { return scenario.LoadFile
 func RunCampaign(c *Campaign, cacheDir string) (*CampaignReport, error) {
 	r := scenario.Runner{CacheDir: cacheDir}
 	return r.Run(c)
+}
+
+// CampaignPlan describes an expanded campaign before execution: cell
+// counts (total and unique) and every scenario's cells and artifact names.
+type CampaignPlan = scenario.Plan
+
+// PlanCampaign validates and expands a campaign without executing
+// anything.
+func PlanCampaign(c *Campaign) (*CampaignPlan, error) { return scenario.PlanCampaign(c) }
+
+// CellCache is the two-tier cell cache: a size-bounded in-memory LRU with
+// singleflight request coalescing over the content-hashed on-disk store.
+// Share one CellCache between campaign runs (CampaignRunner.Cache) and
+// servers so identical concurrent requests execute once and hot cells are
+// served without touching disk.
+type CellCache = scenario.CellCache
+
+// NewCellCache returns a cell cache over dir (empty disables the disk
+// tier) holding at most memCells results in memory (<= 0 picks the
+// default).
+func NewCellCache(dir string, memCells int) *CellCache {
+	return scenario.NewCellCache(dir, memCells)
+}
+
+// NewCampaignHandler returns the campaign HTTP API (the one cmd/ftserve
+// serves) as an http.Handler, evaluating everything through the given
+// shared cache: POST /v1/campaigns, GET /v1/jobs/{id}, artifact CSV
+// streaming, and synchronous POST /v1/cells. workers bounds cell-level
+// parallelism per campaign job (0: NumCPU).
+func NewCampaignHandler(cache *CellCache, workers int) http.Handler {
+	return server.New(server.Config{Cache: cache, Workers: workers}).Handler()
 }

@@ -2,6 +2,9 @@ package abftckpt
 
 import (
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -88,6 +91,40 @@ func TestFacadeSimulateWorkerInvariance(t *testing.T) {
 	parallel.Workers = 8
 	if Simulate(serial) != Simulate(parallel) {
 		t.Error("facade Simulate not worker-count invariant")
+	}
+}
+
+func TestFacadeCampaignServing(t *testing.T) {
+	c, err := LoadCampaignFile("examples/campaigns/quickstart.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanCampaign(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Unique == 0 || plan.Unique > plan.Cells || len(plan.Scenarios) != len(c.Scenarios) {
+		t.Fatalf("unexpected plan: %+v", plan)
+	}
+	// The embeddable handler serves the same API as cmd/ftserve; one
+	// synchronous cell through the shared cache proves the wiring.
+	cache := NewCellCache(t.TempDir(), 64)
+	ts := httptest.NewServer(NewCampaignHandler(cache, 2))
+	defer ts.Close()
+	body := `{"op": "periods", "probe": {"c": 60, "mu": 3600, "d": 60, "r": 60}}`
+	for i, want := range []string{"exec", "mem"} {
+		resp, err := http.Post(ts.URL+"/v1/cells", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != want {
+			t.Fatalf("cell request %d: code %d X-Cache %q, want 200 %q",
+				i, resp.StatusCode, resp.Header.Get("X-Cache"), want)
+		}
+	}
+	if stats := cache.Stats(); stats.Executed != 1 || stats.MemHits != 1 {
+		t.Errorf("cache stats: %+v, want 1 execution and 1 memory hit", stats)
 	}
 }
 

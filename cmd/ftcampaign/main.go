@@ -11,13 +11,16 @@
 //	ftcampaign -spec examples/campaigns/quickstart.json -out out
 //	ftcampaign -spec my-campaign.json -out out -cache .ftcache -v
 //	ftcampaign -platforms
+//	ftcampaign -spec my-campaign.json -validate
 //	ftcampaign -spec my-campaign.json -dry-run
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -25,9 +28,8 @@ import (
 	"abftckpt/internal/scenario"
 )
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ftcampaign:", err)
-	os.Exit(1)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // manifest is the machine-readable run summary written next to the
@@ -47,59 +49,78 @@ type manifestArtifact struct {
 	Files []string `json:"files"`
 }
 
-func listPlatforms() {
-	fmt.Println("fixed platforms (heatmap and sensitivity scenarios):")
+func listPlatforms(w io.Writer) {
+	fmt.Fprintln(w, "fixed platforms (heatmap and sensitivity scenarios):")
 	for _, name := range scenario.PlatformNames() {
 		p, _ := scenario.LookupPlatform(name)
-		fmt.Printf("  %-24s %s\n", name, p.Desc)
+		fmt.Fprintf(w, "  %-24s %s\n", name, p.Desc)
 	}
-	fmt.Println("weak-scaling platforms (scaling, points and ablation scenarios):")
+	fmt.Fprintln(w, "weak-scaling platforms (scaling, points and ablation scenarios):")
 	for _, name := range scenario.ScalingPlatformNames() {
 		p, _ := scenario.LookupScalingPlatform(name)
-		fmt.Printf("  %-24s %s\n", name, p.Desc)
+		fmt.Fprintf(w, "  %-24s %s\n", name, p.Desc)
 	}
 }
 
-func main() {
-	spec := flag.String("spec", "", "campaign JSON file (required unless -platforms)")
-	out := flag.String("out", "out", "output directory")
-	cache := flag.String("cache", "", "cell cache directory (default <out>/.ftcache; -no-cache disables)")
-	noCache := flag.Bool("no-cache", false, "disable the cell cache")
-	workers := flag.Int("workers", 0, "cell-level parallelism (0: NumCPU)")
-	dryRun := flag.Bool("dry-run", false, "validate and print the cell plan without executing")
-	platforms := flag.Bool("platforms", false, "list the built-in platform catalogue and exit")
-	verbose := flag.Bool("v", false, "log every cell completion")
-	flag.Parse()
+// run is the testable entry point: flag parsing and dispatch over the
+// given streams, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ftcampaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	spec := fs.String("spec", "", "campaign JSON file (required unless -platforms)")
+	out := fs.String("out", "out", "output directory")
+	cache := fs.String("cache", "", "cell cache directory (default <out>/.ftcache; -no-cache disables)")
+	noCache := fs.Bool("no-cache", false, "disable the cell cache")
+	workers := fs.Int("workers", 0, "cell-level parallelism (0: NumCPU)")
+	validate := fs.Bool("validate", false, "validate the campaign file and exit")
+	dryRun := fs.Bool("dry-run", false, "validate and print the cell plan without executing")
+	platforms := fs.Bool("platforms", false, "list the built-in platform catalogue and exit")
+	verbose := fs.Bool("v", false, "log every cell completion")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ftcampaign:", err)
+		return 1
+	}
 
 	if *platforms {
-		listPlatforms()
-		return
+		listPlatforms(stdout)
+		return 0
 	}
 	if *spec == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	campaign, err := scenario.LoadFile(*spec)
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+	if *validate {
+		fmt.Fprintf(stdout, "campaign %q: %d scenarios OK\n", campaign.Name, len(campaign.Scenarios))
+		return 0
 	}
 	if *dryRun {
-		// Validation already expanded every scenario; report the plan by
-		// running the expansion again through a cache-less, execution-less
-		// proxy: count cells per scenario.
-		fmt.Printf("campaign %q: %d scenarios\n", campaign.Name, len(campaign.Scenarios))
-		total := 0
-		for _, s := range campaign.Scenarios {
-			n := scenario.CellCount(campaign, s)
-			total += n
-			fmt.Printf("  %-32s %-12s %5d cells\n", s.Name, s.Kind, n)
+		// LoadFile already validated; the plan re-expands to report the
+		// cell grid and artifact names per scenario.
+		plan, err := scenario.PlanCampaign(campaign)
+		if err != nil {
+			return fail(err)
 		}
-		fmt.Printf("total: %d cells\n", total)
-		return
+		fmt.Fprintf(stdout, "campaign %q: %d scenarios\n", plan.Campaign, len(plan.Scenarios))
+		for _, sp := range plan.Scenarios {
+			fmt.Fprintf(stdout, "  %-32s %-12s %5d cells -> %v\n", sp.Name, sp.Kind, sp.Cells, sp.Artifacts)
+		}
+		fmt.Fprintf(stdout, "total: %d cells (%d unique)\n", plan.Cells, plan.Unique)
+		return 0
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cacheDir := *cache
 	if cacheDir == "" {
@@ -122,7 +143,7 @@ func main() {
 				if ev.Cached {
 					state = "cached"
 				}
-				fmt.Fprintf(os.Stderr, "cell %d/%d %s %s (%s)\n",
+				fmt.Fprintf(stderr, "cell %d/%d %s %s (%s)\n",
 					ev.Index, ev.Total, ev.Hash[:12], state, ev.Elapsed.Round(time.Microsecond))
 			}
 		},
@@ -137,15 +158,15 @@ func main() {
 				return
 			}
 			filesByName[a.Name] = files
-			fmt.Printf("wrote %s (%s)\n", a.Name, a.Kind())
+			fmt.Fprintf(stdout, "wrote %s (%s)\n", a.Name, a.Kind())
 		},
 	}
 	report, err := runner.Run(campaign)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if artErr != nil {
-		fatal(artErr)
+		return fail(artErr)
 	}
 	// The manifest lists artifacts in campaign order with the files each
 	// one actually produced.
@@ -159,12 +180,13 @@ func main() {
 	m.Executed = report.Executed
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if err := os.WriteFile(filepath.Join(*out, "manifest.json"), append(data, '\n'), 0o644); err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("campaign %q: %d cells (%d unique), %d cached, %d executed in %s\n",
+	fmt.Fprintf(stdout, "campaign %q: %d cells (%d unique), %d cached, %d executed in %s\n",
 		report.Campaign, report.Cells, report.Unique, report.CacheHits, report.Executed,
 		time.Since(start).Round(time.Millisecond))
+	return 0
 }

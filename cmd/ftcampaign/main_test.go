@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const quickstart = "../../examples/campaigns/quickstart.json"
+
+// runCmd invokes run with captured streams.
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestPlatformListing(t *testing.T) {
+	code, stdout, _ := runCmd(t, "-platforms")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fixed platforms", "weak-scaling platforms", "paper-fig7", "paper-fig10"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("platform listing missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-spec", quickstart, "-validate")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "OK") || !strings.Contains(stdout, "quickstart") {
+		t.Errorf("validate output: %s", stdout)
+	}
+}
+
+func TestValidateRejectsBadCampaign(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	// A field-level error: heatmap specs reject simulation-only fields.
+	if err := os.WriteFile(bad, []byte(`{"name":"x","scenarios":[{"name":"h","kind":"heatmap","protocol":"abft","reps":3}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCmd(t, "-spec", bad, "-validate")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "reps") {
+		t.Errorf("stderr does not carry the field-level error: %s", stderr)
+	}
+}
+
+func TestValidateMissingFile(t *testing.T) {
+	code, _, stderr := runCmd(t, "-spec", filepath.Join(t.TempDir(), "nope.json"), "-validate")
+	if code != 1 || stderr == "" {
+		t.Errorf("exit %d stderr %q, want 1 with an error", code, stderr)
+	}
+}
+
+func TestDryRun(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-spec", quickstart, "-dry-run")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"campaign \"quickstart\"", "waste_model_heatmap", "heatmap", "total:", "unique"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("dry-run output missing %q:\n%s", want, stdout)
+		}
+	}
+	// A dry run must not create the output directory or any artifacts.
+	if _, err := os.Stat("out"); !os.IsNotExist(err) {
+		t.Error("dry run created an output directory")
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCmd(t, "-h")
+	if code != 0 {
+		t.Errorf("-h exit %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "-spec") {
+		t.Errorf("usage text missing: %s", stderr)
+	}
+}
+
+func TestMissingSpecIsUsageError(t *testing.T) {
+	code, _, _ := runCmd(t)
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+func TestUnknownFlagIsUsageError(t *testing.T) {
+	code, _, stderr := runCmd(t, "-bogus")
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "bogus") {
+		t.Errorf("stderr does not name the bad flag: %s", stderr)
+	}
+}
+
+// TestRunSmallCampaign runs a tiny campaign end to end through run(),
+// checking artifacts, the manifest, and the cached rerun summary line.
+func TestRunSmallCampaign(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "c.json")
+	if err := os.WriteFile(spec, []byte(`{"name":"tiny","scenarios":[{"name":"pd","kind":"periods"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out")
+	code, stdout, stderr := runCmd(t, "-spec", spec, "-out", out)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote pd (table)") {
+		t.Errorf("stdout: %s", stdout)
+	}
+	for _, f := range []string{"pd.csv", "pd.txt", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+	// The rerun is served entirely by the cache.
+	code, stdout, stderr = runCmd(t, "-spec", spec, "-out", out)
+	if code != 0 {
+		t.Fatalf("rerun exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "0 executed") {
+		t.Errorf("rerun summary not cached: %s", stdout)
+	}
+}

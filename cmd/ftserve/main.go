@@ -1,0 +1,74 @@
+// Command ftserve serves the scenario engine over HTTP: POST campaigns
+// for asynchronous execution, poll job progress, download artifacts as
+// CSV, and evaluate single cells synchronously. All requests share one
+// two-tier cell cache (in-memory LRU + optional on-disk store), so
+// identical concurrent requests execute once and hot cells never touch
+// disk.
+//
+// Examples:
+//
+//	ftserve -addr 127.0.0.1:8080 -cache .ftcache
+//	curl -X POST --data-binary @examples/campaigns/quickstart.json \
+//	    http://127.0.0.1:8080/v1/campaigns
+//	curl http://127.0.0.1:8080/v1/jobs/<id>
+//	curl http://127.0.0.1:8080/v1/jobs/<id>/artifacts/periods.csv
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"abftckpt/internal/scenario"
+	"abftckpt/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses flags, binds the listener,
+// prints the resolved address to stdout and serves until the process
+// exits. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ftserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	cacheDir := fs.String("cache", "", "on-disk cell cache directory (empty: in-memory tier only)")
+	memCells := fs.Int("mem-cells", scenario.DefaultMemCells, "in-memory LRU capacity in cells")
+	workers := fs.Int("workers", 0, "cell-level parallelism per campaign job (0: NumCPU)")
+	maxJobs := fs.Int("max-jobs", server.DefaultMaxJobs, "retained jobs before the oldest finished one is evicted")
+	maxRunning := fs.Int("max-running", server.DefaultMaxRunning, "concurrently executing campaign jobs; excess jobs queue")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ftserve: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Cache:      scenario.NewCellCache(*cacheDir, *memCells),
+		Workers:    *workers,
+		MaxJobs:    *maxJobs,
+		MaxRunning: *maxRunning,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ftserve:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ftserve: listening on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(stderr, "ftserve:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe growable buffer for capturing the output
+// of a run() still in flight.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestUnknownFlagIsUsageError(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "bogus") {
+		t.Errorf("stderr does not name the bad flag: %s", errBuf.String())
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errBuf); code != 0 {
+		t.Errorf("-h exit %d, want 0", code)
+	}
+	if !strings.Contains(errBuf.String(), "-addr") {
+		t.Errorf("usage text missing: %s", errBuf.String())
+	}
+}
+
+func TestPositionalArgIsUsageError(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"extra"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+func TestBadAddrFails(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-addr", "definitely:not:an:addr"}, &out, &errBuf); code != 1 {
+		t.Errorf("exit %d, want 1 (stderr %s)", code, errBuf.String())
+	}
+}
+
+// TestServeEndToEnd boots run() on an ephemeral port, reads the resolved
+// address from stdout, and exercises the server through real HTTP.
+func TestServeEndToEnd(t *testing.T) {
+	stdout := &syncBuffer{}
+	stderr := &syncBuffer{}
+	go run([]string{"-addr", "127.0.0.1:0", "-cache", t.TempDir()}, stdout, stderr)
+
+	// The listen line carries the resolved port.
+	re := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := re.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not report its address; stdout %q stderr %q", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// One synchronous cell through the live server; the repeat must be
+	// served from memory.
+	cell := `{"op": "periods", "probe": {"c": 60, "mu": 3600, "d": 60, "r": 60}}`
+	for i, want := range []string{"exec", "mem"} {
+		resp, err := http.Post(base+"/v1/cells", "application/json", strings.NewReader(cell))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cell request %d: code %d", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cache"); got != want {
+			t.Errorf("cell request %d: X-Cache %q, want %q", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseScalingLaw checks the scaling-law name parser never panics,
+// and that every accepted name round-trips through String and JSON and
+// yields a usable law.
+func FuzzParseScalingLaw(f *testing.F) {
+	for _, s := range []string{"constant", "sqrt", "linear", "inverse", "", "Constant", "lin ear", `"sqrt"`} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		law, err := ParseScalingLaw(s)
+		if err != nil {
+			return // rejected names only need to not panic
+		}
+		if law.String() != s {
+			t.Fatalf("ParseScalingLaw(%q).String() = %q, not the identity", s, law.String())
+		}
+		data, err := json.Marshal(law)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", law, err)
+		}
+		var back ScalingLaw
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != law {
+			t.Fatalf("JSON round-trip changed the law: %v -> %v", law, back)
+		}
+		// An accepted law must be usable: the factor at the baseline node
+		// ratio is exactly 1 for every law.
+		if got := law.Factor(1); got != 1 {
+			t.Fatalf("%v.Factor(1) = %v, want 1", law, got)
+		}
+	})
+}

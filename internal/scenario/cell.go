@@ -56,6 +56,16 @@ type CellSpec struct {
 // cellVersion invalidates cached results when the cell semantics change.
 const cellVersion = 1
 
+// MaxSimReps, MaxSimEpochs and MaxSimBudget bound one simulation cell so
+// an adversarial (or fuzzed) spec cannot pin a worker for hours: the
+// budget is reps x epochs, and the paper's heaviest configuration (1000
+// repetitions of 1000 epochs) uses a tenth of it.
+const (
+	MaxSimReps   = 1_000_000
+	MaxSimEpochs = 100_000
+	MaxSimBudget = 10_000_000
+)
+
 // PeriodsProbe is the input of an OpPeriods cell (all seconds).
 type PeriodsProbe struct {
 	C  float64 `json:"c"`
@@ -266,6 +276,19 @@ func (c CellSpec) Validate() error {
 		}
 		if c.Reps <= 0 {
 			return fmt.Errorf("scenario: sim cell needs reps > 0")
+		}
+		if c.Reps > MaxSimReps {
+			return fmt.Errorf("scenario: sim cell reps %d exceeds the %d limit", c.Reps, MaxSimReps)
+		}
+		if c.Epochs < 0 || c.Epochs > MaxSimEpochs {
+			return fmt.Errorf("scenario: sim cell epochs must be in [0, %d]", MaxSimEpochs)
+		}
+		epochs := c.Epochs
+		if epochs == 0 {
+			epochs = 1
+		}
+		if c.Reps*epochs > MaxSimBudget {
+			return fmt.Errorf("scenario: sim cell reps*epochs %d exceeds the %d budget", c.Reps*epochs, MaxSimBudget)
 		}
 		if _, err := c.Dist.constructor(); err != nil {
 			return err

@@ -130,6 +130,12 @@ func (s *Spec) expand(c *Campaign) (*expansion, error) {
 	return ex, nil
 }
 
+// maxScenarioCells bounds the cell grid of one scenario so a mistyped (or
+// fuzzed) pair of dense axes fails validation instead of materializing an
+// astronomically large cell slice. The paper's densest scenario is 399
+// cells.
+const maxScenarioCells = 20_000
+
 // CellCount reports how many cells a scenario expands into under the
 // campaign's defaults (0 when the spec is invalid). Used by dry runs.
 func CellCount(c *Campaign, s *Spec) int {
@@ -223,6 +229,10 @@ func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
 	}
 	if len(mtbfMinutes) == 0 || len(alphas) == 0 {
 		return nil, fmt.Errorf("heatmap axes must be non-empty")
+	}
+	if len(mtbfMinutes)*len(alphas) > maxScenarioCells {
+		return nil, fmt.Errorf("heatmap grid has %d cells, exceeding the %d-cell limit",
+			len(mtbfMinutes)*len(alphas), maxScenarioCells)
 	}
 	reps := s.repsOr(c)
 	seed := s.seed(c)
@@ -342,6 +352,10 @@ func (s *Spec) expandScaling() (*expansion, error) {
 	}
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("node axis must be non-empty")
+	}
+	if len(nodes)*len(s.Series) > maxScenarioCells {
+		return nil, fmt.Errorf("scaling grid has %d cells, exceeding the %d-cell limit",
+			len(nodes)*len(s.Series), maxScenarioCells)
 	}
 	opts := s.Options.model()
 	type series struct {

@@ -1,0 +1,236 @@
+package scenario
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CellTier identifies which tier of the two-tier cell cache satisfied a
+// request.
+type CellTier string
+
+const (
+	// TierMem: served from the in-memory LRU, no disk access.
+	TierMem CellTier = "mem"
+	// TierDisk: loaded from the on-disk cache and promoted into memory.
+	TierDisk CellTier = "disk"
+	// TierExec: a full miss; the cell was executed and stored in both tiers.
+	TierExec CellTier = "exec"
+	// TierCoalesced: an identical request was already in flight; this call
+	// waited for its result instead of executing again (singleflight).
+	TierCoalesced CellTier = "coalesced"
+)
+
+// CacheStats counts cache-tier outcomes since the cache was created. The
+// counters are cumulative and monotone; tests and the server's metrics use
+// deltas between snapshots.
+type CacheStats struct {
+	// MemHits counts requests served entirely from the in-memory LRU.
+	MemHits int64 `json:"mem_hits"`
+	// DiskHits counts requests served from the disk tier (and promoted).
+	DiskHits int64 `json:"disk_hits"`
+	// DiskReads counts disk-tier lookups, hit or miss. A warm in-memory
+	// path leaves this unchanged.
+	DiskReads int64 `json:"disk_reads"`
+	// Executed counts cells actually executed (full misses).
+	Executed int64 `json:"executed"`
+	// Coalesced counts requests that joined an identical in-flight
+	// execution instead of starting their own.
+	Coalesced int64 `json:"coalesced"`
+}
+
+// DefaultMemCells bounds the in-memory tier when NewCellCache is given no
+// positive capacity. A cell result is a few hundred bytes, so the default
+// tier tops out around a few MB.
+const DefaultMemCells = 4096
+
+// CellCache is the two-tier cell cache: a size-bounded in-memory LRU with
+// singleflight request coalescing, layered over the content-hashed on-disk
+// cache. Concurrent identical requests execute once; hot cells are served
+// without touching disk. A CellCache is safe for concurrent use and is
+// meant to be shared — between campaign jobs, and between jobs and
+// synchronous single-cell evaluations.
+type CellCache struct {
+	dir      string
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	flight  map[string]*flightCall
+	stats   CacheStats
+}
+
+// memEntry is one LRU slot; results are immutable once inserted.
+type memEntry struct {
+	hash   string
+	result CellResult
+}
+
+// flightCall is one in-flight execution; waiters block on done and read
+// result/err afterwards (the channel close publishes the writes).
+type flightCall struct {
+	done   chan struct{}
+	result CellResult
+	err    error
+}
+
+// NewCellCache returns a cache over the given disk directory (empty
+// disables the disk tier) holding at most memCells results in memory
+// (<= 0 selects DefaultMemCells).
+func NewCellCache(dir string, memCells int) *CellCache {
+	if memCells <= 0 {
+		memCells = DefaultMemCells
+	}
+	return &CellCache{
+		dir:      dir,
+		capacity: memCells,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+		flight:   map[string]*flightCall{},
+	}
+}
+
+// Dir returns the disk-tier directory ("" when the disk tier is disabled).
+func (c *CellCache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the cache counters.
+func (c *CellCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// insertLocked adds a result to the memory tier, evicting from the LRU
+// tail past capacity. Callers hold c.mu.
+func (c *CellCache) insertLocked(hash string, res CellResult) {
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.order.PushFront(&memEntry{hash: hash, result: res})
+	for len(c.entries) > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*memEntry).hash)
+	}
+}
+
+// Lookup consults the memory tier then the disk tier, never executing. A
+// disk hit is promoted into memory.
+func (c *CellCache) Lookup(spec CellSpec) (CellResult, CellTier, bool) {
+	hash := spec.Hash()
+	c.mu.Lock()
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		c.stats.MemHits++
+		res := el.Value.(*memEntry).result
+		c.mu.Unlock()
+		return res, TierMem, true
+	}
+	if c.dir == "" {
+		c.mu.Unlock()
+		return CellResult{}, "", false
+	}
+	c.stats.DiskReads++
+	c.mu.Unlock()
+	res, ok := loadCell(c.dir, spec)
+	if !ok {
+		return CellResult{}, "", false
+	}
+	c.mu.Lock()
+	c.stats.DiskHits++
+	c.insertLocked(hash, res)
+	c.mu.Unlock()
+	return res, TierDisk, true
+}
+
+// GetOrExecute returns the cell's result: from memory, else from disk,
+// else by executing the cell and storing the result in both tiers.
+// Concurrent calls for the same cell coalesce — exactly one executes, the
+// rest wait for its result and report TierCoalesced.
+func (c *CellCache) GetOrExecute(spec CellSpec) (CellResult, CellTier, error) {
+	return c.do(spec, spec.Execute)
+}
+
+// do is GetOrExecute with an injectable executor (tests gate it to pin
+// down coalescing).
+func (c *CellCache) do(spec CellSpec, exec func() (CellResult, error)) (CellResult, CellTier, error) {
+	hash := spec.Hash()
+	c.mu.Lock()
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		c.stats.MemHits++
+		res := el.Value.(*memEntry).result
+		c.mu.Unlock()
+		return res, TierMem, nil
+	}
+	if fc, ok := c.flight[hash]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fc.done
+		if fc.err != nil {
+			return CellResult{}, TierCoalesced, fc.err
+		}
+		return fc.result, TierCoalesced, nil
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	c.flight[hash] = fc
+	c.mu.Unlock()
+
+	// If the executor panics, unblock every coalesced waiter with an
+	// error before re-panicking; a leaked flight entry would otherwise
+	// hang all future requests for this cell forever.
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		c.mu.Lock()
+		delete(c.flight, hash)
+		c.mu.Unlock()
+		fc.err = fmt.Errorf("scenario: cell %s: execution panicked", hash)
+		close(fc.done)
+	}()
+
+	// Leader path: disk, then execution. No lock is held during I/O or
+	// cell execution.
+	tier := TierDisk
+	var res CellResult
+	var err error
+	hit := false
+	if c.dir != "" {
+		c.mu.Lock()
+		c.stats.DiskReads++
+		c.mu.Unlock()
+		res, hit = loadCell(c.dir, spec)
+	}
+	if !hit {
+		tier = TierExec
+		start := time.Now()
+		res, err = exec()
+		if err == nil {
+			err = storeCell(c.dir, spec, res, float64(time.Since(start).Microseconds())/1000)
+		}
+	}
+	c.mu.Lock()
+	if err == nil {
+		if hit {
+			c.stats.DiskHits++
+		} else {
+			c.stats.Executed++
+		}
+		c.insertLocked(hash, res)
+	}
+	delete(c.flight, hash)
+	c.mu.Unlock()
+	fc.result, fc.err = res, err
+	settled = true
+	close(fc.done)
+	if err != nil {
+		return CellResult{}, tier, err
+	}
+	return res, tier, nil
+}

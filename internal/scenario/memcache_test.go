@@ -1,0 +1,284 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abftckpt/internal/model"
+)
+
+// periodsCell returns a cheap, valid cell whose identity is parameterized
+// by mu, so tests can mint arbitrarily many distinct cells.
+func periodsCell(mu float64) CellSpec {
+	return CellSpec{Op: OpPeriods, Probe: &PeriodsProbe{C: 60, Mu: mu, D: 60, R: 60}}
+}
+
+// modelResult mints a recognizable result value for a fake executor.
+func modelResult(v float64) CellResult {
+	return CellResult{Model: &ModelCellResult{Feasible: true, TFinal: JSONFloat(v)}}
+}
+
+// TestCellCacheWarmPath is the warm-path acceptance check: a repeated
+// request for an identical cell is served from the in-memory LRU without a
+// disk read or a cell execution, counters telling the story.
+func TestCellCacheWarmPath(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCellCache(dir, 16)
+	spec := periodsCell(model.Hour)
+
+	res1, tier, err := c.GetOrExecute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier != TierExec {
+		t.Fatalf("cold request tier = %q, want %q", tier, TierExec)
+	}
+	after1 := c.Stats()
+	if after1.Executed != 1 || after1.DiskReads != 1 || after1.MemHits != 0 {
+		t.Fatalf("cold stats = %+v, want 1 execution and 1 disk read", after1)
+	}
+
+	res2, tier, err := c.GetOrExecute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier != TierMem {
+		t.Fatalf("warm request tier = %q, want %q", tier, TierMem)
+	}
+	after2 := c.Stats()
+	if after2.Executed != after1.Executed {
+		t.Errorf("warm request executed the cell again: %+v", after2)
+	}
+	if after2.DiskReads != after1.DiskReads {
+		t.Errorf("warm request touched disk: %+v", after2)
+	}
+	if after2.MemHits != 1 {
+		t.Errorf("warm request MemHits = %d, want 1", after2.MemHits)
+	}
+	if mustCanonicalResult(t, res1) != mustCanonicalResult(t, res2) {
+		t.Error("warm result differs from cold result")
+	}
+
+	// A fresh cache over the same directory misses memory, hits disk once,
+	// and promotes — the second request is a memory hit again.
+	c2 := NewCellCache(dir, 16)
+	if _, tier, err = c2.GetOrExecute(spec); err != nil || tier != TierDisk {
+		t.Fatalf("fresh cache tier = %q err = %v, want %q", tier, err, TierDisk)
+	}
+	if _, tier, err = c2.GetOrExecute(spec); err != nil || tier != TierMem {
+		t.Fatalf("promoted tier = %q err = %v, want %q", tier, err, TierMem)
+	}
+	s := c2.Stats()
+	if s.Executed != 0 || s.DiskHits != 1 || s.DiskReads != 1 || s.MemHits != 1 {
+		t.Errorf("fresh-cache stats = %+v, want 0 executions, 1 disk hit/read, 1 mem hit", s)
+	}
+}
+
+// TestCellCacheSingleflight pins down request coalescing: N concurrent
+// identical requests execute the cell exactly once, the leader reporting
+// TierExec and every waiter TierCoalesced with the leader's result.
+func TestCellCacheSingleflight(t *testing.T) {
+	c := NewCellCache("", 16)
+	spec := periodsCell(model.Hour)
+	const waiters = 7
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var execs atomic.Int32
+	exec := func() (CellResult, error) {
+		execs.Add(1)
+		close(started)
+		<-release
+		return modelResult(42), nil
+	}
+
+	var wg sync.WaitGroup
+	tiers := make(chan CellTier, waiters+1)
+	launch := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, tier, err := c.do(spec, exec)
+			if err != nil {
+				t.Error(err)
+			}
+			if got := float64(res.Model.TFinal); got != 42 {
+				t.Errorf("result = %v, want 42", got)
+			}
+			tiers <- tier
+		}()
+	}
+	launch() // leader: blocks inside exec
+	<-started
+	for i := 0; i < waiters; i++ {
+		launch()
+	}
+	// Every waiter increments Coalesced before blocking; wait until all
+	// are provably parked on the in-flight call, then release the leader.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Coalesced < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters coalesced", c.Stats().Coalesced, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(tiers)
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("cell executed %d times, want exactly 1", n)
+	}
+	count := map[CellTier]int{}
+	for tier := range tiers {
+		count[tier]++
+	}
+	if count[TierExec] != 1 || count[TierCoalesced] != waiters {
+		t.Errorf("tiers = %v, want 1 exec and %d coalesced", count, waiters)
+	}
+}
+
+// TestCellCacheLRUEviction checks the memory tier is size-bounded and
+// evicts least-recently-used cells first.
+func TestCellCacheLRUEviction(t *testing.T) {
+	c := NewCellCache("", 2)
+	mkexec := func(v float64) func() (CellResult, error) {
+		return func() (CellResult, error) { return modelResult(v), nil }
+	}
+	a, b, d := periodsCell(1*model.Hour), periodsCell(2*model.Hour), periodsCell(3*model.Hour)
+	for i, s := range []struct {
+		spec CellSpec
+		v    float64
+	}{{a, 1}, {b, 2}} {
+		if _, tier, _ := c.do(s.spec, mkexec(s.v)); tier != TierExec {
+			t.Fatalf("fill %d: tier %q", i, tier)
+		}
+	}
+	// Touch a so b becomes the LRU victim, then insert d.
+	if _, tier, _ := c.do(a, mkexec(1)); tier != TierMem {
+		t.Fatal("a should be in memory")
+	}
+	if _, tier, _ := c.do(d, mkexec(3)); tier != TierExec {
+		t.Fatal("d should execute")
+	}
+	if _, _, ok := c.Lookup(a); !ok {
+		t.Error("a (recently used) was evicted")
+	}
+	if _, _, ok := c.Lookup(b); ok {
+		t.Error("b (least recently used) survived past capacity")
+	}
+	// With no disk tier, evicted cells re-execute; the value must come
+	// from the executor, never a stale slot.
+	if res, tier, _ := c.do(b, mkexec(22)); tier != TierExec || float64(res.Model.TFinal) != 22 {
+		t.Errorf("re-executed b: tier %q value %v", tier, res.Model.TFinal)
+	}
+}
+
+// TestCellCacheExecError checks failed executions are not cached and do
+// not poison waiters beyond the failing call.
+func TestCellCacheExecError(t *testing.T) {
+	c := NewCellCache("", 4)
+	spec := periodsCell(model.Hour)
+	boom := fmt.Errorf("boom")
+	if _, _, err := c.do(spec, func() (CellResult, error) { return CellResult{}, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if s := c.Stats(); s.Executed != 0 {
+		t.Errorf("failed execution counted as executed: %+v", s)
+	}
+	// The failure is not cached: the next call re-executes and succeeds.
+	res, tier, err := c.do(spec, func() (CellResult, error) { return modelResult(7), nil })
+	if err != nil || tier != TierExec || float64(res.Model.TFinal) != 7 {
+		t.Errorf("retry after failure: res=%v tier=%q err=%v", res.Model, tier, err)
+	}
+}
+
+// TestCellCacheExecPanic checks a panicking executor does not leak the
+// in-flight entry: waiters are unblocked with an error, the panic
+// propagates to the leader, and the cell remains usable afterwards.
+func TestCellCacheExecPanic(t *testing.T) {
+	c := NewCellCache("", 4)
+	spec := periodsCell(model.Hour)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		c.do(spec, func() (CellResult, error) {
+			close(entered)
+			<-release
+			panic("exec exploded")
+		})
+	}()
+	<-entered
+	// A waiter coalesces onto the doomed flight.
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(spec, func() (CellResult, error) { return modelResult(1), nil })
+		waiterDone <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Coalesced < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if p := <-leaderDone; p == nil {
+		t.Fatal("panic did not propagate to the leader")
+	}
+	select {
+	case err := <-waiterDone:
+		if err == nil {
+			t.Error("waiter got a result from a panicked execution")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter deadlocked on the leaked flight entry")
+	}
+	// The failure is not sticky: the next request executes normally.
+	res, tier, err := c.do(spec, func() (CellResult, error) { return modelResult(5), nil })
+	if err != nil || tier != TierExec || float64(res.Model.TFinal) != 5 {
+		t.Errorf("cell unusable after panic: res=%v tier=%q err=%v", res.Model, tier, err)
+	}
+}
+
+// TestRunnerSharedCacheCoalesces checks two concurrent campaign runs
+// sharing one CellCache execute their common cells once in total.
+func TestRunnerSharedCacheCoalesces(t *testing.T) {
+	cache := NewCellCache("", 0)
+	c1, c2 := testCampaign(), testCampaign()
+	var wg sync.WaitGroup
+	reports := make([]*Report, 2)
+	for i, c := range []*Campaign{c1, c2} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &Runner{Cache: cache, Workers: 2}
+			rep, err := r.Run(c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reports[i] = rep
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	unique := reports[0].Unique
+	if int(cache.Stats().Executed) != unique {
+		t.Errorf("two concurrent identical campaigns executed %d cells in total, want %d (one campaign's worth)",
+			cache.Stats().Executed, unique)
+	}
+	// Between the two runs every unique cell is accounted exactly twice.
+	got := reports[0].Executed + reports[0].CacheHits + reports[1].Executed + reports[1].CacheHits
+	if got != 2*unique {
+		t.Errorf("accounted cells = %d, want %d", got, 2*unique)
+	}
+}

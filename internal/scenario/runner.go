@@ -15,10 +15,26 @@ type CellEvent struct {
 	// Index counts completed unique cells (1-based); Total is the unique
 	// cell count of the campaign.
 	Index, Total int
-	// Cached reports a cache hit (no execution happened).
+	// Cached reports a cache hit from any tier (no execution happened in
+	// this run).
 	Cached bool
 	// Elapsed is the execution time (zero for cache hits).
 	Elapsed time.Duration
+}
+
+// ScenarioEvent reports per-scenario progress, streamed to
+// Runner.OnScenario: Done of Total cell references are complete, and
+// Completed marks the scenario's artifacts assembled. The campaign server
+// turns these into job status.
+type ScenarioEvent struct {
+	// Scenario and Kind identify the scenario.
+	Scenario string
+	Kind     string
+	// Done counts complete cell references out of Total (shared cells
+	// included, so Done/Total tracks this scenario alone).
+	Done, Total int
+	// Completed is set once, on the event that assembled the artifacts.
+	Completed bool
 }
 
 // Report summarizes one campaign run.
@@ -29,7 +45,9 @@ type Report struct {
 	// Unique deduplicates shared cells (e.g. a model heatmap and the
 	// difference heatmap reusing it).
 	Cells, Unique int
-	// CacheHits and Executed partition the unique cells.
+	// CacheHits and Executed partition the unique cells: CacheHits were
+	// served by the cache (either tier, or an execution coalesced with a
+	// concurrent run sharing the cache); Executed ran in this run.
 	CacheHits, Executed int
 	// Artifacts holds the finished outputs in campaign order.
 	Artifacts []Artifact
@@ -39,15 +57,29 @@ type Report struct {
 // deduplicates them, loads what the cache already has, executes the rest on
 // a worker pool, and assembles artifacts as soon as their cells complete.
 type Runner struct {
-	// CacheDir is the on-disk cell cache; empty disables caching.
+	// Cache is the two-tier cell cache to run through. When nil, Run
+	// builds a private cache over CacheDir, so separate runs share only
+	// the disk tier; a server shares one CellCache across jobs and
+	// synchronous cell evaluations to get memory hits and singleflight
+	// coalescing between them.
+	Cache *CellCache
+	// CacheDir is the on-disk cell cache used when Cache is nil; empty
+	// disables disk caching.
 	CacheDir string
 	// Workers bounds cell-level parallelism (0: NumCPU). Simulation cells
 	// run single-threaded inside, so cells are the unit of parallelism;
 	// results are bit-identical for any worker count.
 	Workers int
+	// OnPlan, when set, receives the expanded campaign plan once, before
+	// any cell runs.
+	OnPlan func(Plan)
 	// OnEvent, when set, receives a CellEvent per unique cell. Callbacks
 	// are never invoked concurrently.
 	OnEvent func(CellEvent)
+	// OnScenario, when set, receives per-scenario progress: one event per
+	// scenario after cache preloading, then one per affected scenario as
+	// each cell completes. Callbacks are never invoked concurrently.
+	OnScenario func(ScenarioEvent)
 	// OnArtifact, when set, receives each artifact as soon as the scenario
 	// producing it completes (before Run returns). Callbacks are never
 	// invoked concurrently.
@@ -67,6 +99,10 @@ type cellState struct {
 func (r *Runner) Run(c *Campaign) (*Report, error) {
 	if c == nil {
 		return nil, fmt.Errorf("scenario: nil campaign")
+	}
+	cache := r.Cache
+	if cache == nil {
+		cache = NewCellCache(r.CacheDir, 0)
 	}
 
 	// Expand every scenario and deduplicate cells by content hash.
@@ -99,19 +135,30 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 	}
 
 	report := &Report{Campaign: c.Name, Cells: totalRefs, Unique: len(order)}
+	if r.OnPlan != nil {
+		plan := Plan{Campaign: c.Name, Cells: totalRefs, Unique: len(order)}
+		for _, run := range runs {
+			plan.Scenarios = append(plan.Scenarios, ScenarioPlan{
+				Name:      run.ex.spec.Name,
+				Kind:      run.ex.spec.Kind,
+				Cells:     len(run.hashes),
+				Artifacts: append([]string(nil), run.ex.artifacts...),
+			})
+		}
+		r.OnPlan(plan)
+	}
 
-	// Load whatever the cache already has.
+	// Load whatever the cache tiers already have.
 	var todo []string
 	for _, h := range order {
 		st := states[h]
-		if res, ok := loadCell(r.CacheDir, st.spec); ok {
+		if res, _, ok := cache.Lookup(st.spec); ok {
 			st.result, st.done, st.cached = res, true, true
 			report.CacheHits++
 		} else {
 			todo = append(todo, h)
 		}
 	}
-	report.Executed = len(todo)
 
 	// Assembly bookkeeping: a scenario assembles once all its cells are
 	// done; cache hits count immediately. subscribers indexes, per
@@ -138,6 +185,17 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 		}
 		return nil
 	}
+	emitScenario := func(run *specRun, completed bool) {
+		if r.OnScenario != nil {
+			r.OnScenario(ScenarioEvent{
+				Scenario:  run.ex.spec.Name,
+				Kind:      run.ex.spec.Kind,
+				Done:      len(run.hashes) - run.pending,
+				Total:     len(run.hashes),
+				Completed: completed,
+			})
+		}
+	}
 	subscribers := map[string][]*specRun{}
 	for _, run := range runs {
 		for _, h := range run.hashes {
@@ -151,6 +209,7 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 				return nil, err
 			}
 		}
+		emitScenario(run, run.pending == 0)
 	}
 	emit := func(ev CellEvent) {
 		if r.OnEvent != nil {
@@ -164,9 +223,12 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 		}
 	}
 
-	// Execute the remaining cells on the pool. Completion handling runs
-	// under the mutex: mark the cell done, decrement every subscribed
-	// scenario, assemble those that hit zero.
+	// Execute the remaining cells on the pool, through the cache: a
+	// concurrent run sharing the cache may have executed (or be executing)
+	// the same cell, in which case the tier reports a hit and the cell
+	// counts as cached, not executed. Completion handling runs under the
+	// mutex: mark the cell done, decrement every subscribed scenario,
+	// assemble those that hit zero.
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -194,11 +256,8 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 					}
 					st := states[h]
 					start := time.Now()
-					res, err := st.spec.Execute()
+					res, tier, err := cache.do(st.spec, st.spec.Execute)
 					elapsed := time.Since(start)
-					if err == nil {
-						err = storeCell(r.CacheDir, st.spec, res, float64(elapsed.Microseconds())/1000)
-					}
 					mu.Lock()
 					if err != nil {
 						if firstErr == nil {
@@ -208,11 +267,18 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 						continue
 					}
 					st.result, st.done = res, true
+					st.cached = tier != TierExec
+					if st.cached {
+						report.CacheHits++
+						elapsed = 0
+					} else {
+						report.Executed++
+					}
 					completed++
 					// Callbacks run under the lock: they are never invoked
 					// concurrently, at the price of serializing progress
 					// reporting (cell execution itself stays parallel).
-					emit(CellEvent{Hash: h, Index: completed, Total: len(order), Elapsed: elapsed})
+					emit(CellEvent{Hash: h, Index: completed, Total: len(order), Cached: st.cached, Elapsed: elapsed})
 					// A scenario may reference the same cell more than once;
 					// subscribers holds one entry per reference, so every
 					// reference is decremented exactly once.
@@ -221,11 +287,14 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 							break
 						}
 						run.pending--
-						if run.pending == 0 && artifacts[run.slot] == nil {
+						done := run.pending == 0 && artifacts[run.slot] == nil
+						if done {
 							if err := finishSpec(run); err != nil && firstErr == nil {
 								firstErr = err
+								break
 							}
 						}
+						emitScenario(run, done)
 					}
 					mu.Unlock()
 				}

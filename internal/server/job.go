@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"time"
+
+	"abftckpt/internal/scenario"
+)
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// job is one asynchronous campaign run. The runner goroutine writes
+// through the callback methods; HTTP handlers read through status and
+// artifactCSV. All fields behind mu.
+type job struct {
+	id string // immutable after registration
+
+	mu        sync.Mutex
+	campaign  string
+	state     string
+	errMsg    string
+	created   time.Time
+	ended     time.Time
+	plan      *scenario.Plan
+	cellsDone int
+	cached    int
+	executed  int
+	scenarios []*scenarioStatus
+	byName    map[string]*scenarioStatus
+	artifacts map[string][]byte // finished CSV bytes by artifact name
+	artKinds  map[string]string // artifact shape by name
+}
+
+// scenarioStatus tracks one scenario of a job.
+type scenarioStatus struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	State string `json:"state"` // "pending", "running" or "done"
+}
+
+// artifactInfo is one finished artifact in the job status.
+type artifactInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	URL  string `json:"url"`
+}
+
+func newJob(campaign string) *job {
+	return &job{
+		campaign:  campaign,
+		state:     StateQueued,
+		created:   time.Now().UTC(),
+		byName:    map[string]*scenarioStatus{},
+		artifacts: map[string][]byte{},
+		artKinds:  map[string]string{},
+	}
+}
+
+// setRunning marks the job as executing (it acquired a run slot).
+func (j *job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+}
+
+// setPlan records the expanded plan (Runner.OnPlan).
+func (j *job) setPlan(p scenario.Plan) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.plan = &p
+	for _, sp := range p.Scenarios {
+		st := &scenarioStatus{Name: sp.Name, Kind: sp.Kind, Total: sp.Cells, State: "pending"}
+		j.scenarios = append(j.scenarios, st)
+		j.byName[sp.Name] = st
+	}
+}
+
+// onCell counts unique-cell completions (Runner.OnEvent).
+func (j *job) onCell(ev scenario.CellEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cellsDone = ev.Index
+	if ev.Cached {
+		j.cached++
+	} else {
+		j.executed++
+	}
+}
+
+// onScenario updates per-scenario progress (Runner.OnScenario).
+func (j *job) onScenario(ev scenario.ScenarioEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.byName[ev.Scenario]
+	if st == nil {
+		return
+	}
+	st.Done = ev.Done
+	switch {
+	case ev.Completed:
+		st.State = "done"
+	case st.State == "pending" && ev.Done > 0:
+		st.State = "running"
+	}
+}
+
+// onArtifact renders and stores a finished artifact (Runner.OnArtifact).
+// Artifacts become downloadable as soon as they are assembled, before the
+// job finishes.
+func (j *job) onArtifact(a scenario.Artifact) {
+	var buf bytes.Buffer
+	if err := a.WriteCSV(&buf); err != nil {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if j.errMsg == "" {
+			j.errMsg = "render artifact " + a.Name + ": " + err.Error()
+		}
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.artifacts[a.Name] = buf.Bytes()
+	j.artKinds[a.Name] = a.Kind()
+}
+
+// finish records the run outcome.
+func (j *job) finish(report *scenario.Report, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.ended = time.Now().UTC()
+	switch {
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	case j.errMsg != "":
+		j.state = StateFailed
+	default:
+		j.state = StateDone
+		if report != nil {
+			j.cached, j.executed = report.CacheHits, report.Executed
+			j.cellsDone = report.Unique
+		}
+	}
+}
+
+// finished reports whether the job has reached a terminal state (queued
+// and running jobs are live and must not be evicted).
+func (j *job) finished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed
+}
+
+// artifactCSV returns the finished CSV bytes of one artifact.
+func (j *job) artifactCSV(name string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	csv, ok := j.artifacts[name]
+	return csv, ok
+}
+
+// jobStatus is the GET /v1/jobs/{id} response body.
+type jobStatus struct {
+	ID       string `json:"id"`
+	Campaign string `json:"campaign"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Cells    struct {
+		Done     int `json:"done"`
+		Total    int `json:"total"`
+		Cached   int `json:"cached"`
+		Executed int `json:"executed"`
+	} `json:"cells"`
+	Scenarios []scenarioStatus `json:"scenarios"`
+	Artifacts []artifactInfo   `json:"artifacts"`
+	Created   time.Time        `json:"created"`
+	Ended     *time.Time       `json:"ended,omitempty"`
+}
+
+// status snapshots the job for the API.
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:       j.id,
+		Campaign: j.campaign,
+		State:    j.state,
+		Error:    j.errMsg,
+		Created:  j.created,
+	}
+	st.Cells.Done = j.cellsDone
+	st.Cells.Cached = j.cached
+	st.Cells.Executed = j.executed
+	if j.plan != nil {
+		st.Cells.Total = j.plan.Unique
+	}
+	for _, sc := range j.scenarios {
+		st.Scenarios = append(st.Scenarios, *sc)
+	}
+	// Artifacts stream in completion order; present them in campaign
+	// order (the plan's scenario order), listing only the finished ones.
+	if j.plan != nil {
+		for _, sp := range j.plan.Scenarios {
+			for _, name := range sp.Artifacts {
+				if _, ok := j.artifacts[name]; !ok {
+					continue
+				}
+				st.Artifacts = append(st.Artifacts, artifactInfo{
+					Name: name,
+					Kind: j.artKinds[name],
+					URL:  "/v1/jobs/" + j.id + "/artifacts/" + name,
+				})
+			}
+		}
+	}
+	if !j.ended.IsZero() {
+		ended := j.ended
+		st.Ended = &ended
+	}
+	return st
+}

@@ -1,0 +1,310 @@
+// Package server exposes the scenario engine over HTTP: asynchronous
+// campaign jobs with streaming per-scenario progress, synchronous
+// single-cell evaluation through the two-tier cell cache, artifact
+// download, and the platform catalogue.
+//
+// Endpoints (all request and response bodies are JSON unless noted):
+//
+//	POST /v1/campaigns                     validate a campaign and run it
+//	                                       asynchronously; 202 + job id
+//	GET  /v1/jobs/{id}                     job progress: cells done/total,
+//	                                       per-scenario status, artifacts
+//	GET  /v1/jobs/{id}/artifacts/{name}    one artifact as a CSV stream
+//	POST /v1/cells                         evaluate one cell synchronously
+//	                                       (X-Cache reports the tier)
+//	GET  /v1/platforms                     the built-in platform catalogue
+//	GET  /v1/stats                         cache-tier counters
+//	GET  /healthz                          liveness probe (plain text)
+//
+// Every campaign job and every cell evaluation runs through one shared
+// scenario.CellCache, so identical concurrent requests coalesce into a
+// single execution and hot cells are served from memory without touching
+// disk.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"abftckpt/internal/scenario"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Cache is the shared two-tier cell cache. When nil, the server
+	// creates a memory-only cache (no disk tier).
+	Cache *scenario.CellCache
+	// Workers bounds cell-level parallelism per campaign job (0: NumCPU).
+	Workers int
+	// MaxJobs bounds retained jobs; when exceeded, the oldest finished
+	// job is evicted (queued and running jobs are never dropped).
+	// Default 64.
+	MaxJobs int
+	// MaxRunning bounds concurrently executing campaign jobs; submissions
+	// past it are accepted and queue (state "queued"). Default 4.
+	MaxRunning int
+}
+
+// DefaultMaxJobs and DefaultMaxRunning apply when Config leaves the
+// bounds unset.
+const (
+	DefaultMaxJobs    = 64
+	DefaultMaxRunning = 4
+)
+
+// maxBodyBytes bounds request bodies on the POST endpoints; the paper's
+// full campaign file is ~7 KB.
+const maxBodyBytes = 8 << 20
+
+// Server implements the campaign HTTP API. Create one with New and mount
+// Handler on an http.Server.
+type Server struct {
+	cache   *scenario.CellCache
+	workers int
+	maxJobs int
+	runSem  chan struct{} // bounds concurrently executing jobs
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // job ids in creation order, for eviction
+}
+
+// New returns a Server over the given configuration.
+func New(cfg Config) *Server {
+	cache := cfg.Cache
+	if cache == nil {
+		cache = scenario.NewCellCache("", 0)
+	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = DefaultMaxJobs
+	}
+	maxRunning := cfg.MaxRunning
+	if maxRunning <= 0 {
+		maxRunning = DefaultMaxRunning
+	}
+	return &Server{
+		cache:   cache,
+		workers: cfg.Workers,
+		maxJobs: maxJobs,
+		runSem:  make(chan struct{}, maxRunning),
+		jobs:    map[string]*job{},
+	}
+}
+
+// Cache returns the server's shared cell cache (tests assert on its
+// counters; operators read them via /v1/stats).
+func (s *Server) Cache() *scenario.CellCache { return s.cache }
+
+// Handler returns the routed http.Handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("POST /v1/cells", s.handleCell)
+	mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response writer errors are the client's problem
+}
+
+// writeError emits the API error shape {"error": "..."}.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// newJobID returns a fresh unguessable job id. Callers hold s.mu.
+func (s *Server) newJobID() string {
+	for {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("server: crypto/rand: %v", err))
+		}
+		id := "job-" + hex.EncodeToString(b[:])
+		if _, ok := s.jobs[id]; !ok {
+			return id
+		}
+	}
+}
+
+// handleCreateCampaign validates the posted campaign and starts it as an
+// asynchronous job.
+func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	campaign, err := scenario.Load(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := newJob(campaign.Name)
+
+	s.mu.Lock()
+	j.id = s.newJobID()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	go s.runJob(j, campaign)
+
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":         j.id,
+		"status_url": "/v1/jobs/" + j.id,
+	})
+}
+
+// evictLocked drops the oldest finished jobs past maxJobs. Running jobs
+// are never dropped, so the retained set can transiently exceed the bound
+// under a burst of long jobs. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	for len(s.jobs) > s.maxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if j := s.jobs[id]; j != nil && j.finished() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// runJob executes one campaign job, streaming progress into the job
+// record. Jobs past the MaxRunning bound wait in state "queued".
+func (s *Server) runJob(j *job, campaign *scenario.Campaign) {
+	s.runSem <- struct{}{}
+	defer func() { <-s.runSem }()
+	j.setRunning()
+	runner := scenario.Runner{
+		Cache:      s.cache,
+		Workers:    s.workers,
+		OnPlan:     j.setPlan,
+		OnEvent:    j.onCell,
+		OnScenario: j.onScenario,
+		OnArtifact: j.onArtifact,
+	}
+	report, err := runner.Run(campaign)
+	j.finish(report, err)
+}
+
+// handleJob reports a job's progress.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleArtifact streams one finished artifact as CSV. Artifacts become
+// downloadable as soon as their scenario completes, before the whole job
+// finishes; the trailing ".csv" is optional in the name.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name := strings.TrimSuffix(r.PathValue("name"), ".csv")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	csv, ok := j.artifactCSV(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q has no finished artifact %q", id, name)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Content-Length", fmt.Sprint(len(csv)))
+	w.Write(csv) //nolint:errcheck
+}
+
+// cellResponse is the POST /v1/cells response body.
+type cellResponse struct {
+	// Cell is the cell's content hash (its cache key).
+	Cell string `json:"cell"`
+	// Cache is the tier that served the request: "mem", "disk", "exec" or
+	// "coalesced".
+	Cache scenario.CellTier `json:"cache"`
+	// Result is the cell result (exactly one sub-object set, by op).
+	Result scenario.CellResult `json:"result"`
+}
+
+// handleCell evaluates one cell synchronously through the shared cache.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var spec scenario.CellSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "parse cell: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, tier, err := s.cache.GetOrExecute(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("X-Cache", string(tier))
+	writeJSON(w, http.StatusOK, cellResponse{Cell: spec.Hash(), Cache: tier, Result: res})
+}
+
+// platformInfo is one catalogue entry of the /v1/platforms response.
+type platformInfo struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+}
+
+// handlePlatforms lists the built-in platform catalogue.
+func (s *Server) handlePlatforms(w http.ResponseWriter, _ *http.Request) {
+	resp := struct {
+		Fixed   []platformInfo `json:"fixed"`
+		Scaling []platformInfo `json:"scaling"`
+	}{}
+	for _, name := range scenario.PlatformNames() {
+		p, _ := scenario.LookupPlatform(name)
+		resp.Fixed = append(resp.Fixed, platformInfo{Name: name, Desc: p.Desc})
+	}
+	for _, name := range scenario.ScalingPlatformNames() {
+		p, _ := scenario.LookupScalingPlatform(name)
+		resp.Scaling = append(resp.Scaling, platformInfo{Name: name, Desc: p.Desc})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats reports the shared cache's tier counters.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Cache scenario.CacheStats `json:"cache"`
+		Time  time.Time           `json:"time"`
+	}{Cache: s.cache.Stats(), Time: time.Now().UTC()})
+}
