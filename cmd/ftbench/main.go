@@ -1,0 +1,178 @@
+// Command ftbench drives the continuous-benchmark harness (internal/bench):
+//
+//	ftbench run              measure the suite, write BENCH_<rev>.json
+//	ftbench compare          measure (or load) a report and gate it against
+//	                         the committed baseline
+//	ftbench update-baseline  refresh the committed baseline on this machine
+//	ftbench list             show the suite and its gating
+//
+// CI runs `ftbench compare -benchtime 40ms` on every push: a gated
+// benchmark regressing more than the tolerance (after machine-speed
+// normalization) fails the job, and the fresh BENCH_*.json is uploaded as a
+// workflow artifact so the perf trajectory is recorded per commit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"time"
+
+	"abftckpt/internal/bench"
+)
+
+// DefaultBaseline is the committed baseline path, relative to the repo root.
+const DefaultBaseline = "BENCH_baseline.json"
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbench:", err)
+		os.Exit(1)
+	}
+}
+
+// errRegression distinguishes a failed gate from operational errors.
+type errRegression struct{ names []string }
+
+func (e errRegression) Error() string {
+	return fmt.Sprintf("performance gate failed: %s", strings.Join(e.names, ", "))
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ftbench <run|compare|update-baseline|list> [flags]")
+	}
+	cmd, args := args[0], args[1:]
+	fs := flag.NewFlagSet("ftbench "+cmd, flag.ContinueOnError)
+	var (
+		benchRe   = fs.String("bench", "", "regexp selecting suite benchmarks (default: all)")
+		benchTime = fs.Duration("benchtime", time.Second, "measurement budget per benchmark")
+		outPath   = fs.String("o", "", "output report path (run/compare; default BENCH_<rev>.json for run)")
+		baseline  = fs.String("baseline", DefaultBaseline, "baseline report path (compare/update-baseline)")
+		current   = fs.String("current", "", "compare an existing report instead of measuring")
+		samples   = fs.Int("samples", 3, "measurements per benchmark (minimum ns/op is kept)")
+		tolNs     = fs.Float64("tol", 0.15, "allowed fractional ns/op regression on gated benchmarks")
+		tolAllocs = fs.Int64("alloc-tol", 0, "allowed absolute allocs/op increase on gated benchmarks")
+		allowRm   = fs.Bool("allow-removed", false, "do not fail when a gated baseline benchmark is missing")
+		rev       = fs.String("rev", "", "revision label for the report (default: git short hash or 'dev')")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var filter *regexp.Regexp
+	if *benchRe != "" {
+		re, err := regexp.Compile(*benchRe)
+		if err != nil {
+			return fmt.Errorf("bad -bench regexp: %w", err)
+		}
+		filter = re
+	}
+	opts := bench.RunOptions{Filter: filter, BenchTime: *benchTime, Samples: *samples, Rev: revision(*rev)}
+
+	switch cmd {
+	case "list":
+		for _, bm := range bench.Suite() {
+			gate := " "
+			if bm.Gated {
+				gate = "G"
+			}
+			fmt.Fprintf(out, "  [%s] %-26s %s\n", gate, bm.Name, bm.Brief)
+		}
+		fmt.Fprintln(out, "  [G] = gated: ftbench compare fails on regression")
+		return nil
+
+	case "run":
+		report, err := bench.Run(opts)
+		if err != nil {
+			return err
+		}
+		path := *outPath
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", report.Rev)
+		}
+		if err := report.WriteFile(path); err != nil {
+			return err
+		}
+		printReport(out, report)
+		fmt.Fprintf(out, "wrote %s\n", path)
+		return nil
+
+	case "update-baseline":
+		report, err := bench.Run(opts)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteFile(*baseline); err != nil {
+			return err
+		}
+		printReport(out, report)
+		fmt.Fprintf(out, "baseline updated: %s\n", *baseline)
+		return nil
+
+	case "compare":
+		base, err := bench.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("load baseline: %w", err)
+		}
+		var cur *bench.Report
+		if *current != "" {
+			if cur, err = bench.ReadFile(*current); err != nil {
+				return fmt.Errorf("load current: %w", err)
+			}
+		} else if cur, err = bench.Run(opts); err != nil {
+			return err
+		}
+		if *outPath != "" {
+			if err := cur.WriteFile(*outPath); err != nil {
+				return err
+			}
+		}
+		tol := bench.Tolerance{NsFrac: *tolNs, Allocs: *tolAllocs, AllowRemoved: *allowRm}
+		cmp := bench.Compare(base, cur, tol)
+		fmt.Fprintf(out, "baseline %s (%s) vs current %s (%s)\n",
+			base.Rev, base.Timestamp.Format("2006-01-02"), cur.Rev, cur.Timestamp.Format("2006-01-02"))
+		fmt.Fprint(out, cmp.Format())
+		if !cmp.OK() {
+			return errRegression{names: cmp.Regressions}
+		}
+		fmt.Fprintln(out, "performance gate passed")
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (run|compare|update-baseline|list)", cmd)
+	}
+}
+
+// revision resolves the report label: explicit flag, then git, then "dev".
+func revision(explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(outBytes))
+}
+
+func printReport(out io.Writer, r *bench.Report) {
+	fmt.Fprintf(out, "rev %s  %s/%s  %s  calibration %.0f ns/op\n",
+		r.Rev, r.GOOS, r.GOARCH, r.GoVersion, r.CalibrationNsPerOp)
+	for _, res := range r.Results {
+		extra := ""
+		for k, v := range res.Extra {
+			extra = fmt.Sprintf("  %.0f %s", v, k)
+		}
+		gate := ""
+		if res.Gated {
+			gate = " [gated]"
+		}
+		fmt.Fprintf(out, "  %-26s %12.0f ns/op %8d B/op %6d allocs/op%s%s\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, extra, gate)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"abftckpt/internal/bench"
+)
+
+// fast constrains a command line to a cheap subset of the suite.
+func fast(args ...string) []string {
+	return append(args, "-bench", "^scenario/cell_(model|periods)$", "-benchtime", "5ms")
+}
+
+func TestListShowsSuite(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"sim/replica_loop", "campaign/warm", "[G]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var sb strings.Builder
+	if err := run(fast("run", "-o", path, "-rev", "t1"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	report, err := bench.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Rev != "t1" || len(report.Results) != 2 {
+		t.Fatalf("unexpected report: rev=%q results=%d", report.Rev, len(report.Results))
+	}
+	if !strings.Contains(sb.String(), "scenario/cell_model") {
+		t.Fatalf("run output missing results:\n%s", sb.String())
+	}
+}
+
+func TestUpdateBaselineAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_baseline.json")
+	var sb strings.Builder
+	if err := run(fast("update-baseline", "-baseline", baseline), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh measurement on the same machine passes a generous gate; the
+	// current report lands where -o points (the CI artifact).
+	artifact := filepath.Join(dir, "BENCH_ci.json")
+	sb.Reset()
+	if err := run(fast("compare", "-baseline", baseline, "-tol", "10", "-alloc-tol", "64", "-o", artifact), &sb); err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "performance gate passed") {
+		t.Fatalf("missing pass message:\n%s", sb.String())
+	}
+	if _, err := os.Stat(artifact); err != nil {
+		t.Fatal("compare -o did not write the current report")
+	}
+}
+
+// A doctored slow baseline makes the gate fail with a regression error, and
+// -current compares a saved report without re-measuring.
+func TestCompareDetectsRegressionFromSavedReport(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	current := filepath.Join(dir, "cur.json")
+	var sb strings.Builder
+	if err := run(fast("run", "-o", current, "-rev", "cur"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	report, err := bench.ReadFile(current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The doctored baseline claims everything used to run 100x faster with
+	// no allocations on the same machine.
+	for i := range report.Results {
+		report.Results[i].NsPerOp /= 100
+		report.Results[i].AllocsPerOp = 0
+		report.Results[i].Gated = true
+	}
+	if err := report.WriteFile(baseline); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	err = run([]string{"compare", "-baseline", baseline, "-current", current}, &sb)
+	if err == nil {
+		t.Fatalf("gate must fail against the doctored baseline:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "performance gate failed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"bogus"}, &sb); err == nil {
+		t.Fatal("unknown command must error")
+	}
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("missing command must error")
+	}
+}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"math"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport(rev string, calib float64, results ...Result) *Report {
+	return &Report{
+		Rev: rev, GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 1,
+		Timestamp:          time.Date(2026, 7, 27, 12, 0, 0, 0, time.UTC),
+		BenchTime:          "40ms",
+		CalibrationNsPerOp: calib,
+		Results:            results,
+	}
+}
+
+// A report must survive the disk round-trip bit-for-bit in every field the
+// comparison reads.
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport("abc1234", 38069.25,
+		Result{Name: "sim/replica_loop", Gated: true, Iterations: 1234,
+			NsPerOp: 475123.5, AllocsPerOp: 10, BytesPerOp: 2560,
+			Extra: map[string]float64{"replicas/sec": 538000.25}},
+		Result{Name: "dist/sample_gamma", Iterations: 99, NsPerOp: 88.25},
+	)
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != r.Rev || got.CalibrationNsPerOp != r.CalibrationNsPerOp ||
+		got.BenchTime != r.BenchTime || !got.Timestamp.Equal(r.Timestamp) {
+		t.Fatalf("header mismatch: %+v vs %+v", got, r)
+	}
+	if len(got.Results) != 2 {
+		t.Fatalf("results lost: %+v", got.Results)
+	}
+	for i := range got.Results {
+		a, b := got.Results[i], r.Results[i]
+		if a.Name != b.Name || a.NsPerOp != b.NsPerOp || a.AllocsPerOp != b.AllocsPerOp ||
+			a.BytesPerOp != b.BytesPerOp || a.Gated != b.Gated || a.Iterations != b.Iterations {
+			t.Fatalf("result %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if b.Extra != nil && a.Extra["replicas/sec"] != b.Extra["replicas/sec"] {
+			t.Fatalf("extra metrics lost: %+v", a.Extra)
+		}
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("reading a missing report must fail")
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := sampleReport("base", 100, Result{Name: "a", Gated: true, NsPerOp: 1000, AllocsPerOp: 5})
+	cur := sampleReport("cur", 100, Result{Name: "a", Gated: true, NsPerOp: 1100, AllocsPerOp: 5})
+	cmp := Compare(base, cur, Tolerance{NsFrac: 0.15})
+	if !cmp.OK() {
+		t.Fatalf("+10%% within 15%% tolerance must pass: %+v", cmp.Regressions)
+	}
+	if cmp.Deltas[0].Status != StatusOK {
+		t.Fatalf("status = %v", cmp.Deltas[0].Status)
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	base := sampleReport("base", 100, Result{Name: "a", Gated: true, NsPerOp: 1000})
+	cur := sampleReport("cur", 100, Result{Name: "a", Gated: true, NsPerOp: 1200})
+	cmp := Compare(base, cur, Tolerance{NsFrac: 0.15})
+	if cmp.OK() || len(cmp.Regressions) != 1 || cmp.Regressions[0] != "a" {
+		t.Fatalf("+20%% must fail the 15%% gate: %+v", cmp)
+	}
+	if !strings.Contains(cmp.Deltas[0].Reason, "ns/op") {
+		t.Fatalf("reason missing: %+v", cmp.Deltas[0])
+	}
+}
+
+// Exactly at the tolerance boundary the gate passes (strict inequality).
+func TestCompareExactToleranceBoundary(t *testing.T) {
+	base := sampleReport("base", 0, Result{Name: "a", Gated: true, NsPerOp: 1000})
+	cur := sampleReport("cur", 0, Result{Name: "a", Gated: true, NsPerOp: 1150})
+	if cmp := Compare(base, cur, Tolerance{NsFrac: 0.15}); !cmp.OK() {
+		t.Fatalf("exactly +15%% must pass a 15%% gate: %+v", cmp.Regressions)
+	}
+}
+
+// An ungated benchmark may regress arbitrarily without failing the gate.
+func TestCompareUngatedNeverFails(t *testing.T) {
+	base := sampleReport("base", 100, Result{Name: "a", NsPerOp: 1000, AllocsPerOp: 0})
+	cur := sampleReport("cur", 100, Result{Name: "a", NsPerOp: 9000, AllocsPerOp: 50})
+	if cmp := Compare(base, cur, DefaultTolerance()); !cmp.OK() {
+		t.Fatalf("ungated regression must not fail: %+v", cmp.Regressions)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	base := sampleReport("base", 100, Result{Name: "a", Gated: true, NsPerOp: 1000, AllocsPerOp: 0})
+	cur := sampleReport("cur", 100, Result{Name: "a", Gated: true, NsPerOp: 1000, AllocsPerOp: 1})
+	cmp := Compare(base, cur, DefaultTolerance())
+	if cmp.OK() {
+		t.Fatal("a single new allocation on a gated zero-alloc path must fail")
+	}
+	// With an allowance it passes.
+	if cmp := Compare(base, cur, Tolerance{NsFrac: 0.15, Allocs: 1}); !cmp.OK() {
+		t.Fatalf("alloc within allowance must pass: %+v", cmp.Regressions)
+	}
+}
+
+// A benchmark only present in the current run is "new", never a failure; a
+// gated benchmark missing from the current run fails unless AllowRemoved.
+func TestCompareNewAndRemoved(t *testing.T) {
+	base := sampleReport("base", 100,
+		Result{Name: "gone_gated", Gated: true, NsPerOp: 10},
+		Result{Name: "gone_ungated", NsPerOp: 10},
+	)
+	cur := sampleReport("cur", 100, Result{Name: "fresh", Gated: true, NsPerOp: 10})
+	cmp := Compare(base, cur, DefaultTolerance())
+	if cmp.OK() {
+		t.Fatal("removing a gated benchmark must fail the gate")
+	}
+	if len(cmp.Regressions) != 1 || cmp.Regressions[0] != "gone_gated" {
+		t.Fatalf("regressions = %v", cmp.Regressions)
+	}
+	byName := map[string]Delta{}
+	for _, d := range cmp.Deltas {
+		byName[d.Name] = d
+	}
+	if byName["fresh"].Status != StatusNew {
+		t.Fatalf("fresh status = %v", byName["fresh"].Status)
+	}
+	if byName["gone_ungated"].Status != StatusRemoved {
+		t.Fatalf("gone_ungated status = %v", byName["gone_ungated"].Status)
+	}
+	if cmp := Compare(base, cur, Tolerance{NsFrac: 0.15, AllowRemoved: true}); !cmp.OK() {
+		t.Fatalf("AllowRemoved must accept the removal: %+v", cmp.Regressions)
+	}
+}
+
+// Calibration normalization: a current machine running the calibration 2x
+// slower has its ns/op halved before gating, so a slow CI runner does not
+// fail a baseline recorded on a fast workstation.
+func TestCompareCalibrationNormalization(t *testing.T) {
+	base := sampleReport("base", 100, Result{Name: "a", Gated: true, NsPerOp: 1000})
+	cur := sampleReport("cur", 200, Result{Name: "a", Gated: true, NsPerOp: 1900})
+	cmp := Compare(base, cur, Tolerance{NsFrac: 0.15})
+	if cmp.Scale != 0.5 {
+		t.Fatalf("scale = %v, want 0.5", cmp.Scale)
+	}
+	if !cmp.OK() {
+		t.Fatalf("normalized 950 ns/op must pass vs 1000 baseline: %+v", cmp.Regressions)
+	}
+	if got := cmp.Deltas[0].NormNs; got != 950 {
+		t.Fatalf("normalized ns = %v", got)
+	}
+	// Missing calibration on either side disables normalization.
+	base.CalibrationNsPerOp = 0
+	if cmp := Compare(base, cur, Tolerance{NsFrac: 0.15}); cmp.Scale != 1 || cmp.OK() {
+		t.Fatalf("without calibration raw 1900 must fail: scale=%v ok=%v", cmp.Scale, cmp.OK())
+	}
+}
+
+// The suite must run end to end through the harness at a tiny budget, emit
+// sane measurements, and self-compare cleanly.
+func TestRunAndSelfCompare(t *testing.T) {
+	report, err := Run(RunOptions{
+		Filter:    regexp.MustCompile(`^(scenario/cell_model|scenario/cell_periods|model/evaluate)$`),
+		BenchTime: 5 * time.Millisecond,
+		Rev:       "selftest",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("got %d results", len(report.Results))
+	}
+	for _, res := range report.Results {
+		if res.NsPerOp <= 0 || math.IsNaN(res.NsPerOp) || res.Iterations <= 0 {
+			t.Fatalf("degenerate measurement: %+v", res)
+		}
+	}
+	if report.CalibrationNsPerOp <= 0 {
+		t.Fatalf("calibration missing: %v", report.CalibrationNsPerOp)
+	}
+	// Comparing a run against itself is identical: no regressions possible.
+	if cmp := Compare(report, report, Tolerance{}); !cmp.OK() {
+		t.Fatalf("self-compare failed: %+v", cmp.Regressions)
+	}
+	if _, err := Run(RunOptions{Filter: regexp.MustCompile(`^nothing-matches$`)}); err == nil {
+		t.Fatal("empty filter must error")
+	}
+}
+
+// Suite names must be unique and well-formed — duplicates would corrupt
+// baseline comparisons silently.
+func TestSuiteNamesUniqueAndThroughputConfigured(t *testing.T) {
+	seen := map[string]bool{}
+	for _, bm := range Suite() {
+		if bm.Name == "" || bm.Fn == nil {
+			t.Fatalf("malformed suite entry: %+v", bm.Name)
+		}
+		if seen[bm.Name] {
+			t.Fatalf("duplicate suite name %q", bm.Name)
+		}
+		seen[bm.Name] = true
+		if (bm.UnitsPerOp > 0) != (bm.UnitName != "") {
+			t.Fatalf("%s: UnitsPerOp and UnitName must be set together", bm.Name)
+		}
+	}
+	if !seen["sim/replica_loop"] {
+		t.Fatal("the replica-simulation benchmark must exist (acceptance anchor)")
+	}
+}

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"abftckpt/internal/des"
+	"abftckpt/internal/dist"
+	"abftckpt/internal/model"
+	"abftckpt/internal/rng"
+	"abftckpt/internal/scenario"
+	"abftckpt/internal/sim"
+)
+
+// Benchmark is one named suite entry.
+type Benchmark struct {
+	// Name is hierarchical: subsystem/workload.
+	Name string
+	// Brief is a one-line description for `ftbench list`.
+	Brief string
+	// Gated marks the benchmark as regression-gated: `ftbench compare`
+	// fails when its ns/op (normalized) or allocs/op regress beyond
+	// tolerance. Ungated benchmarks are informational.
+	Gated bool
+	// UnitsPerOp and UnitName derive a throughput metric (e.g. cells/sec).
+	UnitsPerOp float64
+	UnitName   string
+	// Fn is the benchmark body (ReportAllocs is applied by the harness).
+	Fn func(b *testing.B)
+}
+
+// Fixed workloads, mirroring the paper's Figure 7 configuration so the
+// numbers track the exact code paths campaigns execute.
+const (
+	replicaReps   = 256
+	weibullReps   = 64
+	desReps       = 32
+	distSamples   = 1024
+	cascadeEvents = 4096
+)
+
+func fig7Sim(reps int) sim.Config {
+	return sim.Config{
+		Params:   model.Fig7Params(2*model.Hour, 0.8),
+		Protocol: model.AbftPeriodicCkpt,
+		Reps:     reps,
+		Seed:     42,
+		Workers:  1,
+	}
+}
+
+// Suite returns the named benchmark suite, in display order.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{
+			Name:       "sim/replica_loop",
+			Brief:      "serial Monte-Carlo replica loop, Fig7 composite point (the hot path)",
+			Gated:      true,
+			UnitsPerOp: replicaReps,
+			UnitName:   "replicas",
+			Fn: func(b *testing.B) {
+				cfg := fig7Sim(replicaReps)
+				for i := 0; i < b.N; i++ {
+					sim.Simulate(cfg)
+				}
+			},
+		},
+		{
+			Name:       "sim/replica_weibull",
+			Brief:      "replica loop under a Weibull law (interface sampling path)",
+			Gated:      true,
+			UnitsPerOp: weibullReps,
+			UnitName:   "replicas",
+			Fn: func(b *testing.B) {
+				cfg := fig7Sim(weibullReps)
+				cfg.Distribution = func(mtbf float64) dist.Distribution {
+					return dist.WeibullWithMTBF(0.7, mtbf)
+				}
+				for i := 0; i < b.N; i++ {
+					sim.Simulate(cfg)
+				}
+			},
+		},
+		{
+			Name:       "sim/replica_des",
+			Brief:      "replica loop through the event-calendar engine (cross-validation path)",
+			UnitsPerOp: desReps,
+			UnitName:   "replicas",
+			Fn: func(b *testing.B) {
+				cfg := fig7Sim(desReps)
+				cfg.UseEventCalendar = true
+				for i := 0; i < b.N; i++ {
+					sim.Simulate(cfg)
+				}
+			},
+		},
+		{
+			Name:       "des/event_cascade",
+			Brief:      "event core: schedule/fire cascade with event reuse",
+			Gated:      true,
+			UnitsPerOp: cascadeEvents,
+			UnitName:   "events",
+			Fn: func(b *testing.B) {
+				eng := des.New()
+				eng.EnableEventReuse()
+				src := rng.New(3)
+				for i := 0; i < b.N; i++ {
+					eng.Reset()
+					n := 0
+					var arrive func()
+					arrive = func() {
+						n++
+						if n < cascadeEvents {
+							eng.After(src.Float64()+1e-9, arrive)
+						}
+					}
+					eng.Schedule(0, arrive)
+					eng.Run(math.Inf(1))
+				}
+			},
+		},
+		{
+			Name:       "rng/exp_fill",
+			Brief:      "batched exponential arrival pre-computation (the sampling floor)",
+			Gated:      true,
+			UnitsPerOp: distSamples,
+			UnitName:   "draws",
+			Fn: func(b *testing.B) {
+				src := rng.New(9)
+				var buf [32]float64
+				for i := 0; i < b.N; i++ {
+					for k := 0; k < distSamples/len(buf); k++ {
+						src.ExpFillFrom(buf[:], -7200, 0)
+					}
+				}
+			},
+		},
+		{
+			Name:       "dist/sample_exponential",
+			Brief:      "scalar exponential sampling through the Distribution interface",
+			UnitsPerOp: distSamples,
+			UnitName:   "draws",
+			Fn:         distSampleBench(dist.NewExponential(7200)),
+		},
+		{
+			Name:       "dist/sample_weibull",
+			Brief:      "Weibull sampling (inverse-CDF with precomputed 1/shape)",
+			UnitsPerOp: distSamples,
+			UnitName:   "draws",
+			Fn:         distSampleBench(dist.WeibullWithMTBF(0.7, 7200)),
+		},
+		{
+			Name:       "dist/sample_gamma",
+			Brief:      "Gamma sampling (Marsaglia-Tsang with precomputed squeeze constants)",
+			UnitsPerOp: distSamples,
+			UnitName:   "draws",
+			Fn:         distSampleBench(dist.GammaWithMTBF(2, 7200)),
+		},
+		{
+			Name:       "dist/sample_lognormal",
+			Brief:      "log-normal sampling",
+			UnitsPerOp: distSamples,
+			UnitName:   "draws",
+			Fn:         distSampleBench(dist.LogNormalWithMTBF(1.2, 7200)),
+		},
+		{
+			Name:  "model/evaluate",
+			Brief: "closed-form model evaluation, all protocols at one Fig7 point",
+			Gated: true,
+			Fn: func(b *testing.B) {
+				p := model.Fig7Params(2*model.Hour, 0.8)
+				for i := 0; i < b.N; i++ {
+					for _, proto := range model.Protocols {
+						model.Evaluate(proto, p, model.Options{})
+					}
+				}
+			},
+		},
+		{
+			Name:  "scenario/cell_model",
+			Brief: "one model-cell evaluation (validate + execute + result mapping)",
+			Gated: true,
+			Fn:    cellBench(scenario.OpModel),
+		},
+		{
+			Name:  "scenario/cell_periods",
+			Brief: "one periods-cell evaluation",
+			Fn:    cellBench(scenario.OpPeriods),
+		},
+		{
+			Name:       "scenario/cell_sim",
+			Brief:      "one simulation cell (16 replicas) through the cell layer",
+			Gated:      true,
+			UnitsPerOp: 16,
+			UnitName:   "replicas",
+			Fn:         cellBench(scenario.OpSim),
+		},
+		{
+			Name:  "campaign/cold",
+			Brief: "bench campaign end to end with a cold in-memory cache",
+			Fn: func(b *testing.B) {
+				c := scenario.BenchCampaign()
+				for i := 0; i < b.N; i++ {
+					r := &scenario.Runner{Cache: scenario.NewCellCache("", 0), Workers: 1}
+					if _, err := r.Run(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "campaign/warm",
+			Brief: "bench campaign rerun against a warm cell cache (no executions)",
+			Gated: true,
+			Fn: func(b *testing.B) {
+				c := scenario.BenchCampaign()
+				cache := scenario.NewCellCache("", 0)
+				r := &scenario.Runner{Cache: cache, Workers: 1}
+				if _, err := r.Run(c); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Run(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "campaign/cold_disk",
+			Brief: "bench campaign with a cold disk cache (hash + write per cell)",
+			Fn: func(b *testing.B) {
+				c := scenario.BenchCampaign()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					dir, err := os.MkdirTemp("", "ftbench-cache-")
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					r := &scenario.Runner{CacheDir: dir, Workers: 1}
+					if _, err := r.Run(c); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					os.RemoveAll(dir)
+					b.StartTimer()
+				}
+			},
+		},
+	}
+}
+
+func distSampleBench(d dist.Distribution) func(b *testing.B) {
+	return func(b *testing.B) {
+		src := rng.New(5)
+		sink := 0.0
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < distSamples; k++ {
+				sink = d.Sample(src)
+			}
+		}
+		_ = sink
+	}
+}
+
+func cellBench(op string) func(b *testing.B) {
+	return func(b *testing.B) {
+		cell, ok := scenario.BenchCells()[op]
+		if !ok {
+			b.Fatalf("no bench cell for op %q", op)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := cell.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

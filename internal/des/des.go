@@ -3,12 +3,15 @@
 // cancellation, used to host event-driven protocol simulations. Determinism
 // is guaranteed: ties are broken by priority then by scheduling order, never
 // by map iteration or goroutine scheduling.
+//
+// The calendar is a hand-rolled binary heap rather than container/heap: the
+// interface indirection and any-boxing of the standard helper dominate the
+// cost of an event in the simulator's inner loop. For allocation-free
+// steady-state operation, EnableEventReuse recycles fired events through a
+// free list.
 package des
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // Event is a scheduled callback. The zero value is inert.
 type Event struct {
@@ -27,51 +30,45 @@ type Event struct {
 // Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
-// eventHeap orders events by (Time, Priority, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.Time != b.Time {
-		return a.Time < b.Time
-	}
-	if a.Priority != b.Priority {
-		return a.Priority < b.Priority
-	}
-	return a.seq < b.seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is the simulation clock and event calendar.
 type Engine struct {
 	now    float64
 	seq    uint64
-	queue  eventHeap
+	queue  []*Event
+	free   []*Event
+	reuse  bool
 	fired  uint64
 	halted bool
 }
 
 // New returns an engine at time zero.
 func New() *Engine { return &Engine{} }
+
+// EnableEventReuse recycles events through an internal free list once they
+// fire (or are popped after cancellation), making steady-state scheduling
+// allocation-free. Callers must not retain an *Event returned by Schedule
+// past the moment it fires or is cancelled: the engine may hand the same
+// object out again.
+func (e *Engine) EnableEventReuse() { e.reuse = true }
+
+// Reset returns the engine to its initial state — time zero, empty calendar,
+// counters cleared — retaining the allocated calendar and free list so a
+// worker can replay many runs without reallocating.
+func (e *Engine) Reset() {
+	for i, ev := range e.queue {
+		e.queue[i] = nil
+		// Detach unconditionally (recycle only does so under reuse): a
+		// caller holding a pre-Reset event must not be able to Cancel it
+		// into the post-Reset calendar through a stale heap index.
+		ev.index = -1
+		e.recycle(ev)
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.halted = false
+}
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
@@ -101,8 +98,18 @@ func (e *Engine) ScheduleP(t float64, priority int, fn func()) *Event {
 		panic("des: scheduling into the past")
 	}
 	e.seq++
-	ev := &Event{Time: t, Priority: priority, Fn: fn, seq: e.seq, index: -1}
-	heap.Push(&e.queue, ev)
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{Time: t, Priority: priority, Fn: fn, seq: e.seq}
+	} else {
+		ev = &Event{Time: t, Priority: priority, Fn: fn, seq: e.seq}
+	}
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.siftUp(ev.index)
 	return ev
 }
 
@@ -121,8 +128,9 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.cancelled = true
-	heap.Remove(&e.queue, ev.index)
+	e.remove(ev.index)
 	ev.index = -1
+	// Not recycled: the caller necessarily still holds the pointer.
 }
 
 // Halt stops Run after the current event returns.
@@ -131,13 +139,18 @@ func (e *Engine) Halt() { e.halted = true }
 // Step fires the next event; it returns false when the calendar is empty.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.pop()
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.Time
 		e.fired++
-		ev.Fn()
+		fn := ev.Fn
+		// Recycle before firing: fn may immediately re-schedule, and the
+		// recycled event is the first candidate.
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -151,19 +164,105 @@ func (e *Engine) Run(until float64) uint64 {
 	e.halted = false
 	for !e.halted {
 		// Peek without popping so an out-of-bound event stays queued.
-		idx := -1
-		for len(e.queue) > 0 {
-			if e.queue[0].cancelled {
-				heap.Pop(&e.queue)
-				continue
-			}
-			idx = 0
-			break
+		for len(e.queue) > 0 && e.queue[0].cancelled {
+			e.recycle(e.pop())
 		}
-		if idx < 0 || e.queue[0].Time > until {
+		if len(e.queue) == 0 || e.queue[0].Time > until {
 			break
 		}
 		e.Step()
 	}
 	return e.fired - start
+}
+
+// recycle returns a popped event to the free list when reuse is enabled.
+func (e *Engine) recycle(ev *Event) {
+	if !e.reuse {
+		return
+	}
+	ev.Fn = nil // release the closure
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// --- binary heap ordered by (Time, Priority, seq) ---
+
+func (e *Engine) less(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	q := e.queue
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(q[i], q[parent]) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && e.less(q[right], q[left]) {
+			least = right
+		}
+		if !e.less(q[least], q[i]) {
+			return
+		}
+		e.swap(i, least)
+		i = least
+	}
+}
+
+// pop removes and returns the least event. The caller owns recycling.
+func (e *Engine) pop() *Event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes the event at heap index i.
+func (e *Engine) remove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	if i != n {
+		e.swap(i, n)
+	}
+	q[n] = nil
+	e.queue = q[:n]
+	if i < n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
 }

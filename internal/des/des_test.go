@@ -182,3 +182,119 @@ func TestCascadeDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// With event reuse enabled, steady-state scheduling must recycle fired
+// events instead of allocating, and the firing order must be unchanged.
+func TestEventReuseAllocFree(t *testing.T) {
+	e := New()
+	e.EnableEventReuse()
+	var fired int
+	var chain func()
+	chain = func() {
+		fired++
+		if fired < 100 {
+			e.After(1, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	e.Run(math.Inf(1))
+	if fired != 100 {
+		t.Fatalf("fired %d", fired)
+	}
+	// Steady state: one live event at a time, recycled through the free
+	// list. The closure is pre-built so the measured region only schedules.
+	tick := func() {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now(), tick)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+fire allocates %v times per op", allocs)
+	}
+}
+
+// Reuse must preserve the deterministic (time, priority, seq) order even as
+// event objects are recycled.
+func TestEventReuseOrdering(t *testing.T) {
+	run := func(reuse bool) []float64 {
+		src := rng.New(42)
+		e := New()
+		if reuse {
+			e.EnableEventReuse()
+		}
+		var log []float64
+		var arrive func()
+		n := 0
+		arrive = func() {
+			log = append(log, e.Now())
+			n++
+			if n < 200 {
+				e.After(src.Float64()+0.01, arrive)
+				e.After(src.Float64()+0.01, arrive)
+			}
+		}
+		e.Schedule(0, arrive)
+		e.Run(math.Inf(1))
+		return log
+	}
+	plain, reused := run(false), run(true)
+	if len(plain) != len(reused) {
+		t.Fatalf("event counts diverge: %d vs %d", len(plain), len(reused))
+	}
+	for i := range plain {
+		if plain[i] != reused[i] {
+			t.Fatalf("firing order diverges at %d: %v vs %v", i, plain[i], reused[i])
+		}
+	}
+}
+
+// Reset must return the engine to a fresh state while keeping its storage.
+func TestReset(t *testing.T) {
+	e := New()
+	e.EnableEventReuse()
+	e.Schedule(5, func() {})
+	e.Schedule(7, func() {})
+	e.Step()
+	e.Reset()
+	if e.Now() != 0 || e.Fired() != 0 || e.Pending() != 0 {
+		t.Fatalf("reset left state: now=%v fired=%d pending=%d", e.Now(), e.Fired(), e.Pending())
+	}
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	e.Run(math.Inf(1))
+	if !fired || e.Now() != 1 {
+		t.Fatalf("engine unusable after reset: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+// Cancelled events are never recycled while the caller can still observe
+// them: Cancelled() must keep answering truthfully after further scheduling.
+func TestCancelNotRecycled(t *testing.T) {
+	e := New()
+	e.EnableEventReuse()
+	ev := e.Schedule(3, func() {})
+	e.Cancel(ev)
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.Run(math.Inf(1))
+	if !ev.Cancelled() {
+		t.Fatal("cancelled event lost its mark (recycled?)")
+	}
+}
+
+// Without event reuse, Reset must still detach dropped events: cancelling a
+// pre-Reset event afterwards must not remove an unrelated post-Reset event
+// through its stale heap index.
+func TestResetDetachesEventsWithoutReuse(t *testing.T) {
+	e := New()
+	ev := e.Schedule(5, func() {})
+	e.Reset()
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run(math.Inf(1))
+	if !fired {
+		t.Fatal("cancelling a pre-Reset event deleted a post-Reset event")
+	}
+}

@@ -79,6 +79,7 @@ func (e Exponential) String() string { return fmt.Sprintf("Exponential(mtbf=%g)"
 // logs; shape 1 is exponential.
 type Weibull struct {
 	shape, scale float64
+	invShape     float64 // 1/shape, precomputed off the sampling hot path
 	mean         float64
 }
 
@@ -86,7 +87,7 @@ type Weibull struct {
 func NewWeibull(shape, scale float64) Weibull {
 	requirePositive("Weibull", "shape", shape)
 	requirePositive("Weibull", "scale", scale)
-	return Weibull{shape: shape, scale: scale, mean: scale * math.Gamma(1+1/shape)}
+	return Weibull{shape: shape, scale: scale, invShape: 1 / shape, mean: scale * math.Gamma(1+1/shape)}
 }
 
 // WeibullWithMTBF returns the Weibull distribution of the given shape whose
@@ -104,7 +105,7 @@ func (w Weibull) Shape() float64 { return w.shape }
 
 // Sample draws by inverse-CDF: scale * (-ln U)^(1/shape).
 func (w Weibull) Sample(src *rng.Source) float64 {
-	return w.scale * math.Pow(-math.Log(src.Float64Open()), 1/w.shape)
+	return w.scale * math.Pow(-math.Log(src.Float64Open()), w.invShape)
 }
 
 // Mean returns scale * Gamma(1 + 1/shape).
@@ -177,13 +178,28 @@ func (l LogNormal) String() string {
 type Gamma struct {
 	shape, scale float64
 	mean         float64
+	// Marsaglia-Tsang constants, precomputed off the sampling hot path:
+	// the effective shape a (boosted to shape+1 below 1), d = a - 1/3 and
+	// c = 1/sqrt(9d). boosted selects the uniform-power correction, with
+	// exponent invShape = 1/shape.
+	d, c, invShape float64
+	boosted        bool
 }
 
 // NewGamma returns the gamma distribution with the given shape and scale.
 func NewGamma(shape, scale float64) Gamma {
 	requirePositive("Gamma", "shape", shape)
 	requirePositive("Gamma", "scale", scale)
-	return Gamma{shape: shape, scale: scale, mean: shape * scale}
+	g := Gamma{shape: shape, scale: scale, mean: shape * scale}
+	a := shape
+	if a < 1 {
+		g.boosted = true
+		g.invShape = 1 / a
+		a++
+	}
+	g.d = a - 1.0/3
+	g.c = 1 / math.Sqrt(9*g.d)
+	return g
 }
 
 // GammaWithMTBF returns the gamma distribution of the given shape whose mean
@@ -201,14 +217,11 @@ func (g Gamma) Shape() float64 { return g.shape }
 // Sample draws with the Marsaglia-Tsang squeeze method; shapes below 1 are
 // boosted through Gamma(shape+1) and a power of a uniform variate.
 func (g Gamma) Sample(src *rng.Source) float64 {
-	a := g.shape
 	boost := 1.0
-	if a < 1 {
-		boost = math.Pow(src.Float64Open(), 1/a)
-		a++
+	if g.boosted {
+		boost = math.Pow(src.Float64Open(), g.invShape)
 	}
-	d := a - 1.0/3
-	c := 1 / math.Sqrt(9*d)
+	d, c := g.d, g.c
 	for {
 		var x, v float64
 		for {

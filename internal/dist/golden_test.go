@@ -1,0 +1,43 @@
+package dist
+
+import (
+	"testing"
+
+	"abftckpt/internal/rng"
+)
+
+// The sample streams are load-bearing: every recorded experiment (golden
+// campaign CSVs, cached cells, the paper tables) assumes the exact variate
+// sequence each law draws from a given rng stream. These values were captured
+// before the samplers' constants were hoisted out of the hot path; any
+// optimization of Sample must keep them bit-identical.
+func TestSampleStreamsPinned(t *testing.T) {
+	cases := []struct {
+		d    Distribution
+		want [6]float64
+	}{
+		{NewExponential(7200), [6]float64{
+			7585.4323146687348, 4123.4470820757379, 7000.5140932362192,
+			1122.6207645649376, 1734.1893069407713, 11382.204816242802}},
+		{WeibullWithMTBF(0.7, 7200), [6]float64{
+			6127.9244015164168, 2565.323242603391, 5464.2065629357421,
+			399.9080633652755, 744.32921494671598, 10941.918680902865}},
+		{GammaWithMTBF(0.5, 7200), [6]float64{
+			4764.4337716644986, 4005.0185480163937, 19136.540132743554,
+			129.15367152293587, 2118.355956073955, 30885.955266351917}},
+		{GammaWithMTBF(3, 7200), [6]float64{
+			1405.4875843893644, 8429.920013235329, 6023.5068002560965,
+			8771.1693790764893, 777.71852266506937, 14747.66555241151}},
+		{LogNormalWithMTBF(1.2, 7200), [6]float64{
+			340.30906791741666, 2313.5393820275972, 7374.3507853550409,
+			3115.7398099692878, 13631.598930239801, 6700.0572125704193}},
+	}
+	for _, c := range cases {
+		src := rng.New(99)
+		for i, want := range c.want {
+			if got := c.d.Sample(src); got != want {
+				t.Errorf("%s: sample %d = %.17g, want pinned %.17g", c.d, i, got, want)
+			}
+		}
+	}
+}

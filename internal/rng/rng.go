@@ -11,7 +11,10 @@
 // authors recommend. Both algorithms are public domain.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // splitmix64 advances x and returns the next SplitMix64 output.
 // It is used for seeding and for deriving sub-stream seeds.
@@ -48,7 +51,10 @@ func (r *Source) Reseed(seed uint64) {
 	}
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+// rotl is a left rotation through the math/bits intrinsic: a single ROL
+// instruction, and cheap enough for the inliner that Uint64 — the innermost
+// call of every Monte-Carlo draw — inlines into its callers.
+func rotl(x uint64, k uint) uint64 { return bits.RotateLeft64(x, int(k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Source) Uint64() uint64 {
@@ -77,6 +83,44 @@ func (r *Source) Float64Open() float64 {
 			return u
 		}
 	}
+}
+
+// ExpFillFrom fills dst with the running sums of successive exponential
+// variates negMean * ln(U), U uniform in (0, 1), starting from base: element
+// i is exactly the value base would reach after i+1 additions of the draws
+// the expression negMean * math.Log(r.Float64Open()) produces — the same
+// adds in the same order, so consumers batching arrival times this way
+// observe bit-identical streams (pinned by TestExpFillFromMatchesScalarDraws).
+// Batching exists for the simulator's replica loop, which consumes one
+// arrival per failure: the xoshiro state stays in registers for the whole
+// batch instead of round-tripping through memory and two call frames per
+// draw, the logarithms of a batch pipeline instead of serializing on the
+// consumer's dependency chain, and the consumer reads finished arrival
+// times with a plain load.
+//
+// The generator step below mirrors Uint64 exactly; keep the two in sync.
+func (r *Source) ExpFillFrom(dst []float64, negMean, base float64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		var u float64
+		for {
+			result := bits.RotateLeft64(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			u = float64(result>>11) / (1 << 53)
+			if u > 0 {
+				break
+			}
+		}
+		base += negMean * math.Log(u)
+		dst[i] = base
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
@@ -129,4 +173,15 @@ func At(seed uint64, indices ...uint64) uint64 {
 		out = rotl(out, 23) ^ splitmix64(&x)
 	}
 	return out
+}
+
+// At1 is At specialized to a single index: identical output to At(seed, idx)
+// without the variadic slice. The simulator's replica loop derives one
+// sub-stream seed per repetition, so the hot path uses this form.
+func At1(seed, idx uint64) uint64 {
+	x := seed
+	out := splitmix64(&x)
+	x ^= idx + 0x632be59bd9b4e019
+	out ^= splitmix64(&x)
+	return rotl(out, 23) ^ splitmix64(&x)
 }

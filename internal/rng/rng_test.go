@@ -205,3 +205,53 @@ func BenchmarkFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// At1 is an inlining-friendly specialization of At: the two must agree on
+// every (seed, index) pair, including the pinned values below (captured from
+// the variadic implementation, which the replica addressing scheme depends
+// on — changing them would silently re-seed every recorded experiment).
+func TestAt1MatchesAt(t *testing.T) {
+	pinned := []struct {
+		seed, idx uint64
+		want      uint64
+	}{
+		{42, 0, 0x61502c4c57a9a28a},
+		{42, 1, 0xc0521b0df6b75d63},
+		{42, 123456789, 0x9d7612c298b376ba},
+	}
+	for _, p := range pinned {
+		if got := At1(p.seed, p.idx); got != p.want {
+			t.Errorf("At1(%d, %d) = %#x, want pinned %#x", p.seed, p.idx, got, p.want)
+		}
+	}
+	src := New(2024)
+	for i := 0; i < 1000; i++ {
+		seed, idx := src.Uint64(), src.Uint64()
+		if At(seed, idx) != At1(seed, idx) {
+			t.Fatalf("At1 diverges from At at seed=%#x idx=%#x", seed, idx)
+		}
+	}
+}
+
+// ExpFillFrom must produce exactly the arrival times that scalar
+// base += negMean*ln(U) accumulation would, and leave the generator in
+// exactly the state those draws would: the simulator's batched replica loop
+// depends on both for bit-identical traces.
+func TestExpFillFromMatchesScalarDraws(t *testing.T) {
+	const negMean = -7200.0
+	batch := New(12345)
+	scalar := New(12345)
+	var got [100]float64
+	batch.ExpFillFrom(got[:25], negMean, 0)
+	batch.ExpFillFrom(got[25:], negMean, got[24])
+	base := 0.0
+	for i, g := range got {
+		base += negMean * math.Log(scalar.Float64Open())
+		if g != base {
+			t.Fatalf("arrival %d: batched %v != scalar %v", i, g, base)
+		}
+	}
+	if batch.Uint64() != scalar.Uint64() {
+		t.Fatal("generator state diverged after batched draws")
+	}
+}

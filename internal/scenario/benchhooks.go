@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"abftckpt/internal/model"
+)
+
+// Benchmark hooks: the canonical cells and campaign the internal/bench suite
+// (and cmd/ftbench) measure. They live here so the benchmarked specs evolve
+// with the scenario schema instead of drifting in a separate package.
+
+// BenchCells returns one representative, validated cell per operation,
+// keyed by op name. Simulation cells are sized so a single execution stays
+// in the microsecond-to-millisecond range.
+func BenchCells() map[string]CellSpec {
+	params := model.Fig7Params(2*model.Hour, 0.8)
+	cells := map[string]CellSpec{
+		OpModel: {
+			Op:       OpModel,
+			Protocol: "abft",
+			Params:   &params,
+		},
+		OpSim: {
+			Op:       OpSim,
+			Protocol: "abft",
+			Params:   &params,
+			Reps:     16,
+			Seed:     42,
+		},
+		OpPeriods: {
+			Op:    OpPeriods,
+			Probe: &PeriodsProbe{C: 10 * model.Minute, Mu: 2 * model.Hour, D: model.Minute, R: 10 * model.Minute},
+		},
+	}
+	for op, c := range cells {
+		if err := c.Validate(); err != nil {
+			panic(fmt.Sprintf("scenario: invalid bench cell %q: %v", op, err))
+		}
+	}
+	return cells
+}
+
+// benchCampaignJSON is a deliberately small campaign — a model heatmap, a
+// shared-cell diff heatmap and a periods table — that exercises expansion,
+// dedup, cache lookup and artifact assembly while staying fast enough to run
+// hundreds of times per benchmark second.
+const benchCampaignJSON = `{
+  "name": "bench",
+  "seed": 7,
+  "reps": 8,
+  "scenarios": [
+    {
+      "name": "bench_model_heatmap",
+      "kind": "heatmap",
+      "protocol": "abft",
+      "mtbf_minutes": {"from": 60, "to": 240, "count": 3},
+      "alphas": {"from": 0, "to": 1, "count": 3}
+    },
+    {
+      "name": "bench_diff_heatmap",
+      "kind": "heatmap",
+      "output": "diff",
+      "protocol": "abft",
+      "mtbf_minutes": {"from": 60, "to": 240, "count": 3},
+      "alphas": {"from": 0, "to": 1, "count": 3},
+      "reps": 4
+    },
+    {
+      "name": "bench_periods",
+      "kind": "periods"
+    }
+  ]
+}`
+
+// BenchCampaign returns the benchmark campaign. The returned value is
+// freshly parsed on every call, so callers may mutate it.
+func BenchCampaign() *Campaign {
+	c, err := Load(strings.NewReader(benchCampaignJSON))
+	if err != nil {
+		panic(fmt.Sprintf("scenario: bench campaign: %v", err))
+	}
+	return c
+}

@@ -17,13 +17,22 @@ func SimulateOnceDES(cfg Config, source FailureSource) RunResult {
 	if err := cfg.Params.Validate(); err != nil {
 		panic(err)
 	}
+	eng := des.New()
+	eng.EnableEventReuse()
+	return simulateOnceDES(eng, cfg, epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard), source)
+}
+
+// simulateOnceDES is the engine-reusing core of SimulateOnceDES: eng must be
+// freshly created or Reset, cfg must have defaults applied, and phases must
+// be the epoch phase sequence for cfg. Workers replay many replicas through
+// one engine, so the calendar and its event free list are allocated once.
+func simulateOnceDES(eng *des.Engine, cfg Config, phases []phaseSpec, source FailureSource) RunResult {
 	useful := float64(cfg.Epochs) * cfg.Params.T0
 	r := &desRunner{
-		eng:     des.New(),
+		eng:     eng,
 		source:  source,
 		horizon: cfg.MaxTimeFactor * math.Max(useful, 1),
 	}
-	phases := epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard)
 
 	// Chain epochs and phases as continuations.
 	var runFrom func(epoch, phase int)

@@ -106,9 +106,10 @@ type Config struct {
 	// (0: GOMAXPROCS). Results are bit-identical for any worker count.
 	Workers int
 	// Distribution builds the failure inter-arrival distribution from the
-	// MTBF. Defaults to the exponential law of the paper. It is called once
-	// per replica, possibly from concurrent goroutines, so it must be
-	// safe for concurrent use (stateless constructors are).
+	// MTBF. Defaults to the exponential law of the paper. Simulate calls it
+	// once per campaign and shares the returned Distribution across all
+	// workers, so Sample must be safe for concurrent use with distinct
+	// sources (the stateless laws of internal/dist all are).
 	Distribution func(mtbf float64) dist.Distribution
 	// Safeguard enables the Section III-B ABFT-activation rule.
 	Safeguard bool
@@ -398,35 +399,34 @@ type Aggregate struct {
 	Truncated int
 }
 
-// replica executes repetition rep of the campaign on its own substream.
-func replica(cfg Config, rep int) RunResult {
-	src := rng.New(rng.At(cfg.Seed, uint64(rep)))
-	fs := NewRenewalSource(cfg.Distribution(cfg.Params.Mu), src)
-	if cfg.UseEventCalendar {
-		return SimulateOnceDES(cfg, fs)
-	}
-	return SimulateOnce(cfg, fs)
-}
-
 // Simulate runs cfg.Reps independent executions across a worker pool and
 // aggregates them. Each repetition draws its failure trace from the substream
 // rng.At(Seed, rep) — addressed by repetition index, not by worker — and the
 // per-run results are reduced sequentially in repetition order, so the
 // aggregate is reproducible bit-for-bit regardless of cfg.Workers and of
 // scheduling order.
+//
+// Each worker drives a preallocated replicaRunner, so the steady state of a
+// campaign performs no per-replica allocations (pinned by
+// TestReplicaRunnerAllocFree) and no dynamic dispatch for exponential
+// failures, while remaining bit-identical to the reference SimulateOnce
+// walker (pinned by TestReplicaRunnerMatchesSimulateOnce).
 func Simulate(cfg Config) Aggregate {
 	cfg = cfg.withDefaults()
 	if err := cfg.Params.Validate(); err != nil {
 		panic(err)
 	}
-	// Probe the distribution constructor and the phase builder once up
-	// front: a misconfigured distribution (e.g. non-positive shape) or an
-	// unknown protocol panics here on the caller's goroutine, where it is
-	// recoverable, instead of inside a worker.
-	if d := cfg.Distribution(cfg.Params.Mu); d == nil {
+	// Resolve the distribution and the phase sequence once up front: both
+	// are pure values shared by every worker, and a misconfigured
+	// distribution (e.g. non-positive shape) or an unknown protocol panics
+	// here on the caller's goroutine, where it is recoverable, instead of
+	// inside a worker.
+	distrib := cfg.Distribution(cfg.Params.Mu)
+	if distrib == nil {
 		panic("sim: Config.Distribution returned nil")
 	}
-	epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard)
+	phases := epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard)
+	chunkSched := periodicChunkSchedules(phases)
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -434,49 +434,59 @@ func Simulate(cfg Config) Aggregate {
 	if workers > cfg.Reps {
 		workers = cfg.Reps
 	}
-	// Replicas are processed in bounded blocks — parallel fill, then a
-	// sequential reduce in repetition order — so memory stays O(blockSize)
-	// for arbitrarily large campaigns. Floating-point accumulation is
-	// order-dependent; the ordered reduce keeps the aggregate independent of
-	// the worker count and of which worker ran which replica.
-	const blockSize = 4096
-	results := make([]RunResult, min(cfg.Reps, blockSize))
+	runners := make([]*replicaRunner, workers)
+	for w := range runners {
+		runners[w] = newReplicaRunner(cfg, phases, chunkSched, distrib)
+	}
 	var waste, faults, tfinal, work, ckpt, lost, recovery stats.Accumulator
 	truncated := 0
-	for base := 0; base < cfg.Reps; base += len(results) {
-		n := min(len(results), cfg.Reps-base)
-		if workers <= 1 {
-			for i := 0; i < n; i++ {
-				results[i] = replica(cfg, base+i)
-			}
-		} else {
+	reduce := func(r RunResult) {
+		waste.Add(r.Waste)
+		faults.Add(float64(r.Faults))
+		tfinal.Add(r.TFinal)
+		work.Add(r.Breakdown.Work)
+		ckpt.Add(r.Breakdown.Ckpt)
+		lost.Add(r.Breakdown.Lost)
+		recovery.Add(r.Breakdown.Recovery)
+		if r.Truncated {
+			truncated++
+		}
+	}
+	if workers <= 1 {
+		// Serial campaigns reduce on the fly: replicas already complete in
+		// repetition order, no block buffer needed.
+		for i := 0; i < cfg.Reps; i++ {
+			reduce(runners[0].run(i))
+		}
+	} else {
+		// Parallel replicas are processed in bounded blocks — parallel fill,
+		// then a sequential reduce in repetition order — so memory stays
+		// O(blockSize) for arbitrarily large campaigns. Floating-point
+		// accumulation is order-dependent; the ordered reduce keeps the
+		// aggregate independent of the worker count and of which worker ran
+		// which replica.
+		const blockSize = 4096
+		results := make([]RunResult, min(cfg.Reps, blockSize))
+		for base := 0; base < cfg.Reps; base += len(results) {
+			n := min(len(results), cfg.Reps-base)
 			var next atomic.Int64
 			var wg sync.WaitGroup
 			wg.Add(workers)
 			for w := 0; w < workers; w++ {
-				go func() {
+				go func(rr *replicaRunner) {
 					defer wg.Done()
 					for {
 						i := int(next.Add(1)) - 1
 						if i >= n {
 							return
 						}
-						results[i] = replica(cfg, base+i)
+						results[i] = rr.run(base + i)
 					}
-				}()
+				}(runners[w])
 			}
 			wg.Wait()
-		}
-		for _, r := range results[:n] {
-			waste.Add(r.Waste)
-			faults.Add(float64(r.Faults))
-			tfinal.Add(r.TFinal)
-			work.Add(r.Breakdown.Work)
-			ckpt.Add(r.Breakdown.Ckpt)
-			lost.Add(r.Breakdown.Lost)
-			recovery.Add(r.Breakdown.Recovery)
-			if r.Truncated {
-				truncated++
+			for _, r := range results[:n] {
+				reduce(r)
 			}
 		}
 	}
