@@ -125,6 +125,24 @@ func Simulate(cfg SimConfig) SimAggregate {
 	return sim.Simulate(cfg)
 }
 
+// TraceArena is a materialized failure process: per-repetition arrival
+// streams generated once and replayed across simulation campaigns that
+// share the process (see SimulateFromTrace).
+type TraceArena = sim.TraceArena
+
+// BuildTraceArena materializes the failure process (d, seed, reps) through
+// the given horizon; see sim.BuildTraceArena.
+func BuildTraceArena(d Distribution, seed uint64, reps int, horizon float64) *TraceArena {
+	return sim.BuildTraceArena(d, seed, reps, horizon)
+}
+
+// SimulateFromTrace runs the simulator like Simulate but replays failure
+// arrivals from a prebuilt arena — bit-identical results, with the stream
+// generation cost paid once per arena instead of once per campaign.
+func SimulateFromTrace(cfg SimConfig, tr *TraceArena) SimAggregate {
+	return sim.SimulateFromTrace(cfg, tr)
+}
+
 // Fig7Params returns the paper's Figure 7 scenario: a one-week epoch with
 // C = R = 10 min, D = 1 min, rho = 0.8, phi = 1.03, ReconsABFT = 2 s.
 func Fig7Params(mtbf, alpha float64) Params {

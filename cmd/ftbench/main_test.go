@@ -104,6 +104,46 @@ func TestCompareDetectsRegressionFromSavedReport(t *testing.T) {
 	}
 }
 
+// An allocation-count regression alone — identical ns/op — must fail the
+// gate through the CLI compare path with its default zero alloc tolerance:
+// this is the contract the CI bench job relies on.
+func TestCompareFailsOnAllocRegressionAlone(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	current := filepath.Join(dir, "cur.json")
+	var sb strings.Builder
+	if err := run(fast("run", "-o", current, "-rev", "cur"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	report, err := bench.ReadFile(current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The doctored baseline matches the current run exactly except for one
+	// gated benchmark that used to allocate one time less per op.
+	report.Results[0].Gated = true
+	if err := report.WriteFile(current); err != nil {
+		t.Fatal(err)
+	}
+	report.Results[0].AllocsPerOp--
+	if err := report.WriteFile(baseline); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	err = run([]string{"compare", "-baseline", baseline, "-current", current}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "performance gate failed") {
+		t.Fatalf("alloc-only regression must fail the default gate: err=%v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "allocs/op") {
+		t.Errorf("comparison output does not name the alloc regression:\n%s", sb.String())
+	}
+	// An explicit allowance accepts it.
+	sb.Reset()
+	if err := run([]string{"compare", "-baseline", baseline, "-current", current, "-alloc-tol", "1"}, &sb); err != nil {
+		t.Fatalf("alloc within -alloc-tol must pass: %v\n%s", err, sb.String())
+	}
+}
+
 func TestUnknownCommand(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"bogus"}, &sb); err == nil {

@@ -72,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cache := fs.String("cache", "", "cell cache directory (default <out>/.ftcache; -no-cache disables)")
 	noCache := fs.Bool("no-cache", false, "disable the cell cache")
 	workers := fs.Int("workers", 0, "cell-level parallelism (0: NumCPU)")
+	cohorts := fs.Bool("cohorts", true, "generate each shared failure process once and replay it across its cells (trace cohorts)")
+	arenaMB := fs.Int("arena-mb", 0, "per-cohort trace-arena memory budget in MiB (0: default 64)")
 	validate := fs.Bool("validate", false, "validate the campaign file and exit")
 	dryRun := fs.Bool("dry-run", false, "validate and print the cell plan without executing")
 	platforms := fs.Bool("platforms", false, "list the built-in platform catalogue and exit")
@@ -116,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %-32s %-12s %5d cells -> %v\n", sp.Name, sp.Kind, sp.Cells, sp.Artifacts)
 		}
 		fmt.Fprintf(stdout, "total: %d cells (%d unique)\n", plan.Cells, plan.Unique)
+		if plan.Cohorts > 0 {
+			fmt.Fprintf(stdout, "trace cohorts: %d shared failure processes covering %d sim cells\n",
+				plan.Cohorts, plan.CohortCells)
+		}
 		return 0
 	}
 
@@ -135,8 +141,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var artErr error
 	filesByName := map[string][]string{}
 	runner := scenario.Runner{
-		CacheDir: cacheDir,
-		Workers:  *workers,
+		CacheDir:       cacheDir,
+		Workers:        *workers,
+		DisableCohorts: !*cohorts,
+		ArenaBudget:    int64(*arenaMB) << 20,
 		OnEvent: func(ev scenario.CellEvent) {
 			if *verbose {
 				state := "executed"

@@ -21,6 +21,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"abftckpt/internal/scenario"
@@ -43,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "cell-level parallelism per campaign job (0: NumCPU)")
 	maxJobs := fs.Int("max-jobs", server.DefaultMaxJobs, "retained jobs before the oldest finished one is evicted")
 	maxRunning := fs.Int("max-running", server.DefaultMaxRunning, "concurrently executing campaign jobs; excess jobs queue")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile campaign hot spots in place)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -60,13 +62,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxJobs:    *maxJobs,
 		MaxRunning: *maxRunning,
 	})
+	handler := srv.Handler()
+	if *pprofOn {
+		// The profiling endpoints are mounted explicitly (not via the
+		// net/http/pprof DefaultServeMux side effect) and only when asked
+		// for: an internet-facing campaign service must not leak profiles
+		// by default.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "ftserve:", err)
 		return 1
 	}
 	fmt.Fprintf(stdout, "ftserve: listening on http://%s\n", ln.Addr())
-	if err := http.Serve(ln, srv.Handler()); err != nil {
+	if err := http.Serve(ln, handler); err != nil {
 		fmt.Fprintln(stderr, "ftserve:", err)
 		return 1
 	}

@@ -64,27 +64,32 @@ func TestBadAddrFails(t *testing.T) {
 	}
 }
 
-// TestServeEndToEnd boots run() on an ephemeral port, reads the resolved
-// address from stdout, and exercises the server through real HTTP.
-func TestServeEndToEnd(t *testing.T) {
+// startServer boots run() with the given extra flags on an ephemeral port
+// and returns the resolved base URL.
+func startServer(t *testing.T, extra ...string) string {
+	t.Helper()
 	stdout := &syncBuffer{}
 	stderr := &syncBuffer{}
-	go run([]string{"-addr", "127.0.0.1:0", "-cache", t.TempDir()}, stdout, stderr)
+	go run(append([]string{"-addr", "127.0.0.1:0", "-cache", t.TempDir()}, extra...), stdout, stderr)
 
 	// The listen line carries the resolved port.
 	re := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
-	var base string
 	deadline := time.Now().Add(10 * time.Second)
-	for base == "" {
+	for {
 		if m := re.FindStringSubmatch(stdout.String()); m != nil {
-			base = m[1]
-			break
+			return m[1]
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("server did not report its address; stdout %q stderr %q", stdout.String(), stderr.String())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// TestServeEndToEnd boots run() on an ephemeral port, reads the resolved
+// address from stdout, and exercises the server through real HTTP.
+func TestServeEndToEnd(t *testing.T) {
+	base := startServer(t)
 
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -112,5 +117,39 @@ func TestServeEndToEnd(t *testing.T) {
 		if got := resp.Header.Get("X-Cache"); got != want {
 			t.Errorf("cell request %d: X-Cache %q, want %q", i, got, want)
 		}
+	}
+}
+
+// The profiling endpoints exist only behind -pprof: campaign hot spots can
+// be profiled in place, but never leak from a default deployment.
+func TestPprofGatedBehindFlag(t *testing.T) {
+	probe := func(base string) int {
+		t.Helper()
+		resp, err := http.Get(base + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	withPprof := startServer(t, "-pprof")
+	if code := probe(withPprof); code != http.StatusOK {
+		t.Errorf("-pprof server: /debug/pprof/cmdline code %d, want 200", code)
+	}
+	// The API keeps working behind the wrapping mux.
+	resp, err := http.Get(withPprof + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz behind -pprof: code %d", resp.StatusCode)
+	}
+
+	without := startServer(t)
+	if code := probe(without); code != http.StatusNotFound {
+		t.Errorf("default server exposes pprof: code %d, want 404", code)
 	}
 }

@@ -83,6 +83,23 @@ func Suite() []Benchmark {
 			},
 		},
 		{
+			Name:       "sim/trace_replay",
+			Brief:      "replica loop replaying a materialized failure trace (cohort hot path)",
+			Gated:      true,
+			UnitsPerOp: replicaReps,
+			UnitName:   "replicas",
+			Fn: func(b *testing.B) {
+				cfg := fig7Sim(replicaReps)
+				// The arena is built once and replayed every iteration —
+				// exactly how a cohort amortizes stream generation.
+				tr := sim.BuildTraceArena(dist.NewExponential(cfg.Params.Mu), cfg.Seed, cfg.Reps, 1.5*cfg.Params.T0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sim.SimulateFromTrace(cfg, tr)
+				}
+			},
+		},
+		{
 			Name:       "sim/replica_des",
 			Brief:      "replica loop through the event-calendar engine (cross-validation path)",
 			UnitsPerOp: desReps,
@@ -189,6 +206,23 @@ func Suite() []Benchmark {
 			Fn:    cellBench(scenario.OpPeriods),
 		},
 		{
+			Name:  "scenario/cache_encode",
+			Brief: "disk-cache entry encoding (pooled, pre-sized encoder buffers)",
+			Gated: true,
+			Fn: func(b *testing.B) {
+				enc, err := scenario.BenchCacheEncode()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := enc(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
 			Name:       "scenario/cell_sim",
 			Brief:      "one simulation cell (16 replicas) through the cell layer",
 			Gated:      true,
@@ -206,6 +240,47 @@ func Suite() []Benchmark {
 					if _, err := r.Run(c); err != nil {
 						b.Fatal(err)
 					}
+				}
+			},
+		},
+		{
+			Name:  "campaign/cold_cohort",
+			Brief: "heatmap-shaped sim campaign over shared failure processes, trace cohorts on",
+			Gated: true,
+			Fn: func(b *testing.B) {
+				c := scenario.BenchCohortCampaign()
+				run := func() {
+					r := &scenario.Runner{Cache: scenario.NewCellCache("", 0), Workers: 1}
+					if _, err := r.Run(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// One untimed run first: worker-goroutine and scheduler
+				// warm-up allocations land outside the measurement, keeping
+				// allocs/op deterministic across measurement budgets (the
+				// alloc gate is exact).
+				run()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run()
+				}
+			},
+		},
+		{
+			Name:  "campaign/cold_percell",
+			Brief: "the same campaign with cohorts disabled (the trace-replay comparison point)",
+			Fn: func(b *testing.B) {
+				c := scenario.BenchCohortCampaign()
+				run := func() {
+					r := &scenario.Runner{Cache: scenario.NewCellCache("", 0), Workers: 1, DisableCohorts: true}
+					if _, err := r.Run(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				run()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run()
 				}
 			},
 		},

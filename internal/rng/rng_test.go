@@ -255,3 +255,32 @@ func TestExpFillFromMatchesScalarDraws(t *testing.T) {
 		t.Fatal("generator state diverged after batched draws")
 	}
 }
+
+// A State snapshot restored into any Source continues the stream exactly
+// where the original left off — the contract trace replay relies on when a
+// replica outruns its materialized arrival prefix.
+func TestStateRestoreContinuesStream(t *testing.T) {
+	orig := New(777)
+	for i := 0; i < 57; i++ {
+		orig.Uint64()
+	}
+	snap := orig.State()
+	var cont Source
+	cont.Restore(snap)
+	for i := 0; i < 100; i++ {
+		if a, b := orig.Uint64(), cont.Uint64(); a != b {
+			t.Fatalf("draw %d diverged after restore: %x != %x", i, a, b)
+		}
+	}
+	// Restoring again rewinds to the snapshot point.
+	cont.Restore(snap)
+	fresh := New(777)
+	for i := 0; i < 57; i++ {
+		fresh.Uint64()
+	}
+	for i := 0; i < 10; i++ {
+		if a, b := fresh.Uint64(), cont.Uint64(); a != b {
+			t.Fatalf("rewound draw %d diverged: %x != %x", i, a, b)
+		}
+	}
+}

@@ -83,3 +83,90 @@ func BenchCampaign() *Campaign {
 	}
 	return c
 }
+
+// benchCohortCampaignJSON is the heatmap-shaped trace-cohort workload: four
+// protocol variants (the three protocols plus the safeguarded composite)
+// simulate the same MTBF x alpha grid under one Weibull failure process per
+// point (share_traces), so every grid point is a four-cell cohort. The
+// campaign/cold_cohort and campaign/cold_percell benchmarks run it with
+// cohorts on and off respectively; their ratio is the trace-replay win.
+const benchCohortCampaignJSON = `{
+  "name": "bench_cohorts",
+  "seed": 17,
+  "reps": 24,
+  "scenarios": [
+    {
+      "name": "bench_sim_pure",
+      "kind": "heatmap",
+      "output": "sim",
+      "protocol": "pure",
+      "share_traces": true,
+      "distribution": {"name": "weibull", "shape": 0.7},
+      "mtbf_minutes": {"from": 90, "to": 180, "count": 2},
+      "alphas": {"from": 0.2, "to": 0.8, "count": 2}
+    },
+    {
+      "name": "bench_sim_bi",
+      "kind": "heatmap",
+      "output": "sim",
+      "protocol": "bi",
+      "share_traces": true,
+      "distribution": {"name": "weibull", "shape": 0.7},
+      "mtbf_minutes": {"from": 90, "to": 180, "count": 2},
+      "alphas": {"from": 0.2, "to": 0.8, "count": 2}
+    },
+    {
+      "name": "bench_sim_abft",
+      "kind": "heatmap",
+      "output": "sim",
+      "protocol": "abft",
+      "share_traces": true,
+      "distribution": {"name": "weibull", "shape": 0.7},
+      "mtbf_minutes": {"from": 90, "to": 180, "count": 2},
+      "alphas": {"from": 0.2, "to": 0.8, "count": 2}
+    },
+    {
+      "name": "bench_sim_abft_safeguard",
+      "kind": "heatmap",
+      "output": "sim",
+      "protocol": "abft",
+      "options": {"safeguard": true},
+      "share_traces": true,
+      "distribution": {"name": "weibull", "shape": 0.7},
+      "mtbf_minutes": {"from": 90, "to": 180, "count": 2},
+      "alphas": {"from": 0.2, "to": 0.8, "count": 2}
+    }
+  ]
+}`
+
+// BenchCohortCampaign returns the trace-cohort benchmark campaign. The
+// returned value is freshly parsed on every call, so callers may mutate it.
+func BenchCohortCampaign() *Campaign {
+	c, err := Load(strings.NewReader(benchCohortCampaignJSON))
+	if err != nil {
+		panic(fmt.Sprintf("scenario: bench cohort campaign: %v", err))
+	}
+	return c
+}
+
+// BenchCacheEncode returns a closure that serializes one representative
+// executed cell through the disk-cache codec (pooled, pre-sized encoder
+// buffers); the bench suite measures it as scenario/cache_encode.
+func BenchCacheEncode() (func() error, error) {
+	cell, ok := BenchCells()[OpSim]
+	if !ok {
+		return nil, fmt.Errorf("scenario: no bench cell for op %q", OpSim)
+	}
+	res, err := cell.Execute()
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		buf, err := encodeCellEntry(cell, res, 1.25)
+		if err != nil {
+			return err
+		}
+		putEntryBuf(buf)
+		return nil
+	}, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // cacheEntry is the on-disk record of one executed cell. Spec is stored in
@@ -43,6 +44,41 @@ func loadCell(dir string, spec CellSpec) (CellResult, bool) {
 	return entry.Result, true
 }
 
+// Encoder-buffer pooling for the disk-cache codec: a campaign executing
+// thousands of cells serializes one entry per cell, and per-call buffer
+// growth was pure allocator churn. Buffers are pre-sized to the typical
+// entry and returned to the pool after the file write; outliers past
+// maxPooledEntryBuf are dropped instead of pinning memory.
+const (
+	cacheEntrySizeHint = 1 << 10
+	maxPooledEntryBuf  = 64 << 10
+)
+
+var entryBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeCellEntry serializes one cache entry into a pooled, pre-sized
+// buffer. The caller must hand the buffer back via putEntryBuf once the
+// bytes have been consumed.
+func encodeCellEntry(spec CellSpec, res CellResult, elapsedMS float64) (*bytes.Buffer, error) {
+	buf := entryBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.Grow(cacheEntrySizeHint)
+	if err := json.NewEncoder(buf).Encode(cacheEntry{
+		V: cellVersion, Spec: spec.Canonical(), Result: res, ElapsedMS: elapsedMS,
+	}); err != nil {
+		putEntryBuf(buf)
+		return nil, fmt.Errorf("scenario: marshal cache entry: %w", err)
+	}
+	return buf, nil
+}
+
+// putEntryBuf returns an encode buffer to the pool.
+func putEntryBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledEntryBuf {
+		entryBufPool.Put(buf)
+	}
+}
+
 // storeCell persists an executed cell atomically (write temp, rename).
 func storeCell(dir string, spec CellSpec, res CellResult, elapsedMS float64) error {
 	if dir == "" {
@@ -52,12 +88,12 @@ func storeCell(dir string, spec CellSpec, res CellResult, elapsedMS float64) err
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("scenario: cache dir: %w", err)
 	}
-	data, err := json.Marshal(cacheEntry{
-		V: cellVersion, Spec: spec.Canonical(), Result: res, ElapsedMS: elapsedMS,
-	})
+	buf, err := encodeCellEntry(spec, res, elapsedMS)
 	if err != nil {
-		return fmt.Errorf("scenario: marshal cache entry: %w", err)
+		return err
 	}
+	defer putEntryBuf(buf)
+	data := buf.Bytes()
 	tmp, err := os.CreateTemp(filepath.Dir(path), "cell-*")
 	if err != nil {
 		return fmt.Errorf("scenario: cache write: %w", err)

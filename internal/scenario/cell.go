@@ -307,10 +307,30 @@ func (c CellSpec) Validate() error {
 	}
 }
 
-// Execute runs the cell. Simulation cells run single-threaded — the Runner
-// parallelizes across cells, not within them — and remain bit-identical to
-// any other worker configuration (see sim.Simulate).
+// ExecOptions tune how a cell executes. They never change the result: any
+// combination is bit-identical to the default (sim.Simulate's worker
+// invariance and sim.SimulateFromTrace's replay equivalence), so the cache
+// key stays the cell spec alone.
+type ExecOptions struct {
+	// Workers bounds replica-level parallelism inside a simulation cell
+	// (<= 0: single-threaded). The Runner lends idle workers to cells when
+	// a campaign has fewer unique cells than cores.
+	Workers int
+	// Arena, when non-nil, replays the cell's failure process from a
+	// materialized trace instead of regenerating it. The caller must have
+	// derived it from the cell's process key (see SimProcessKey); it is
+	// ignored by non-simulation ops.
+	Arena *sim.TraceArena
+}
+
+// Execute runs the cell with default execution options (single-threaded,
+// generating failure arrivals on the fly).
 func (c CellSpec) Execute() (CellResult, error) {
+	return c.ExecuteOpts(ExecOptions{})
+}
+
+// ExecuteOpts runs the cell under the given execution tuning.
+func (c CellSpec) ExecuteOpts(o ExecOptions) (CellResult, error) {
 	if err := c.Validate(); err != nil {
 		return CellResult{}, err
 	}
@@ -324,16 +344,26 @@ func (c CellSpec) Execute() (CellResult, error) {
 	case OpSim:
 		proto, _ := ParseProtocol(c.Protocol)
 		ctor, _ := c.Dist.constructor()
-		agg := sim.Simulate(sim.Config{
+		workers := o.Workers
+		if workers <= 0 {
+			workers = 1
+		}
+		cfg := sim.Config{
 			Params:       *c.Params,
 			Protocol:     proto,
 			Epochs:       c.Epochs,
 			Reps:         c.Reps,
 			Seed:         c.Seed,
-			Workers:      1,
+			Workers:      workers,
 			Distribution: ctor,
 			Safeguard:    c.Options.Safeguard,
-		})
+		}
+		var agg sim.Aggregate
+		if o.Arena != nil {
+			agg = sim.SimulateFromTrace(cfg, o.Arena)
+		} else {
+			agg = sim.Simulate(cfg)
+		}
 		return CellResult{Sim: newSimCellResult(agg)}, nil
 	case OpPeriods:
 		p := *c.Probe

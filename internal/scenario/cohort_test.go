@@ -1,0 +1,323 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"abftckpt/internal/model"
+	"abftckpt/internal/sim"
+)
+
+// cohortInputs drive the randomized cohort properties: small pools force
+// both key collisions (cells that must share a cohort) and distinctions.
+type cohortInputs struct {
+	SeedPick  []uint8
+	MuPick    []uint8
+	DistPick  []uint8
+	ProtoPick []uint8
+	Ops       []bool // true: sim cell, false: model cell
+}
+
+// cellsFrom builds a deterministic mixed cell list from the fuzzed inputs.
+func cellsFrom(in cohortInputs) []CellSpec {
+	protos := []string{ProtoPure, ProtoBi, ProtoAbft}
+	dists := []*DistSpec{
+		nil,
+		{Name: DistExponential},
+		{Name: DistWeibull, Shape: 0.7},
+		{Name: DistGamma, Shape: 2},
+	}
+	n := len(in.Ops)
+	if n > 24 {
+		n = 24
+	}
+	pick := func(p []uint8, i, mod int) int {
+		if len(p) == 0 {
+			return i % mod
+		}
+		return int(p[i%len(p)]) % mod
+	}
+	var cells []CellSpec
+	for i := 0; i < n; i++ {
+		params := model.Fig7Params(float64(1+pick(in.MuPick, i, 3))*model.Hour, 0.8)
+		c := CellSpec{
+			Protocol: protos[pick(in.ProtoPick, i, 3)],
+			Params:   &params,
+		}
+		if in.Ops[i] {
+			c.Op = OpSim
+			c.Reps = 8 * (1 + pick(in.SeedPick, i+1, 2))
+			c.Seed = uint64(pick(in.SeedPick, i, 4))
+			c.Dist = dists[pick(in.DistPick, i, len(dists))]
+		} else {
+			c.Op = OpModel
+		}
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+// Cohort grouping is a partition of the planned cells: every unique sim
+// cell lands in exactly one cohort, non-sim cells ride as singletons, cells
+// grouped together share one process key and cells in different sim
+// cohorts never do.
+func TestQuickCohortGroupingIsPartition(t *testing.T) {
+	prop := func(in cohortInputs) bool {
+		cells := cellsFrom(in)
+		specs := map[string]CellSpec{}
+		var order []string
+		for _, c := range cells {
+			h := c.Hash()
+			if _, ok := specs[h]; !ok {
+				specs[h] = c
+				order = append(order, h)
+			}
+		}
+		cohorts := groupCohorts(order, func(h string) CellSpec { return specs[h] })
+		seen := map[string]int{}
+		total := 0
+		for ci, co := range cohorts {
+			total += len(co.hashes)
+			for _, h := range co.hashes {
+				if prev, dup := seen[h]; dup {
+					t.Logf("cell %s in cohorts %d and %d", h[:8], prev, ci)
+					return false
+				}
+				seen[h] = ci
+				key, isSim := SimProcessKey(specs[h])
+				if !isSim {
+					if len(co.hashes) != 1 {
+						t.Logf("non-sim cell grouped with others")
+						return false
+					}
+					continue
+				}
+				if key != co.key {
+					t.Logf("member key %+v != cohort key %+v", key, co.key)
+					return false
+				}
+			}
+		}
+		if total != len(order) {
+			t.Logf("partition covers %d of %d cells", total, len(order))
+			return false
+		}
+		// Distinct sim cohorts carry distinct keys.
+		keys := map[ProcessKey]bool{}
+		for _, co := range cohorts {
+			if _, isSim := SimProcessKey(specs[co.hashes[0]]); !isSim {
+				continue
+			}
+			if keys[co.key] {
+				t.Logf("duplicate cohort key %+v", co.key)
+				return false
+			}
+			keys[co.key] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Equal process keys imply identical generated arenas: two cells that agree
+// on (distribution, MTBF, seed, reps, horizon bound) — however much their
+// protocols, alphas or options differ — materialize element-identical
+// arrival streams.
+func TestQuickProcessKeyEqualityImpliesIdenticalArenas(t *testing.T) {
+	dists := []*DistSpec{
+		{Name: DistExponential},
+		{Name: DistWeibull, Shape: 0.7},
+		{Name: DistLogNormal, Shape: 1.2},
+	}
+	prop := func(seed uint64, muPick, distPick, repsPick uint8) bool {
+		mu := float64(1+int(muPick)%4) * model.Hour
+		reps := 4 + int(repsPick)%8
+		pa := model.Fig7Params(mu, 0.3)
+		pb := model.Fig7Params(mu, 0.9) // different alpha: same process
+		d := dists[int(distPick)%len(dists)]
+		a := CellSpec{Op: OpSim, Protocol: ProtoPure, Params: &pa, Reps: reps, Seed: seed % 16, Dist: d}
+		b := CellSpec{Op: OpSim, Protocol: ProtoAbft, Params: &pb, Reps: reps, Seed: seed % 16, Dist: d,
+			Options: model.Options{Safeguard: true}}
+		ka, oka := SimProcessKey(a)
+		kb, okb := SimProcessKey(b)
+		if !oka || !okb || ka != kb {
+			t.Logf("keys differ: %+v vs %+v", ka, kb)
+			return false
+		}
+		horizon := cohortHorizon(ka, []CellSpec{a, b})
+		ctorA, _ := a.Dist.constructor()
+		ctorB, _ := b.Dist.constructor()
+		arA := sim.BuildTraceArena(ctorA(ka.MTBF), ka.Seed, ka.Reps, horizon)
+		arB := sim.BuildTraceArena(ctorB(kb.MTBF), kb.Seed, kb.Reps, horizon)
+		return arA.Equal(arB)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cohortCampaign is a small heatmap trio over one shared failure process:
+// three protocols scanning the same grid with share_traces, so every grid
+// point forms a three-cell cohort.
+func cohortCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	const js = `{
+	  "name": "cohorts",
+	  "seed": 11,
+	  "reps": 12,
+	  "scenarios": [
+	    {"name": "hm_pure", "kind": "heatmap", "output": "sim", "protocol": "pure",
+	     "share_traces": true,
+	     "mtbf_minutes": {"from": 90, "to": 180, "count": 2}, "alphas": {"from": 0.2, "to": 0.8, "count": 2}},
+	    {"name": "hm_bi", "kind": "heatmap", "output": "sim", "protocol": "bi",
+	     "share_traces": true,
+	     "mtbf_minutes": {"from": 90, "to": 180, "count": 2}, "alphas": {"from": 0.2, "to": 0.8, "count": 2}},
+	    {"name": "hm_abft", "kind": "heatmap", "output": "sim", "protocol": "abft",
+	     "share_traces": true,
+	     "mtbf_minutes": {"from": 90, "to": 180, "count": 2}, "alphas": {"from": 0.2, "to": 0.8, "count": 2}}
+	  ]
+	}`
+	c, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Cohort execution must change nothing observable except the work saved:
+// artifacts byte-identical to per-cell execution, the same cache keys, and
+// the report accounting for the arenas it built.
+func TestRunnerCohortsBitIdenticalToPerCell(t *testing.T) {
+	c := cohortCampaign(t)
+
+	plan, err := PlanCampaign(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cohorts != 4 || plan.CohortCells != 12 {
+		t.Fatalf("plan cohorts = %d/%d cells, want 4 cohorts of 12 cells", plan.Cohorts, plan.CohortCells)
+	}
+
+	withCohorts := &Runner{Cache: NewCellCache("", 0), Workers: 2}
+	repOn, err := withCohorts.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCell := &Runner{Cache: NewCellCache("", 0), Workers: 2, DisableCohorts: true}
+	repOff, err := perCell.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if repOn.Cohorts != 4 || repOn.CohortCells != 12 {
+		t.Errorf("cohort run reports %d cohorts / %d replayed cells, want 4/12", repOn.Cohorts, repOn.CohortCells)
+	}
+	if repOff.Cohorts != 0 || repOff.CohortCells != 0 {
+		t.Errorf("per-cell run reports cohort work: %d/%d", repOff.Cohorts, repOff.CohortCells)
+	}
+	if repOn.Executed != repOff.Executed || repOn.Unique != repOff.Unique {
+		t.Errorf("executions differ: %d/%d vs %d/%d", repOn.Executed, repOn.Unique, repOff.Executed, repOff.Unique)
+	}
+	on, off := artifactCSVs(t, repOn), artifactCSVs(t, repOff)
+	if len(on) != len(off) || len(on) == 0 {
+		t.Fatalf("artifact sets differ: %d vs %d", len(on), len(off))
+	}
+	for name, csv := range on {
+		if !bytes.Equal(off[name], csv) {
+			t.Errorf("artifact %q differs between cohort and per-cell execution", name)
+		}
+	}
+}
+
+// A tiny arena budget disables materialization (the estimate exceeds it),
+// and the campaign still produces identical artifacts.
+func TestRunnerArenaBudgetFallback(t *testing.T) {
+	c := cohortCampaign(t)
+	tight := &Runner{Cache: NewCellCache("", 0), Workers: 1, ArenaBudget: 128}
+	repTight, err := tight.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repTight.Cohorts != 0 || repTight.CohortCells != 0 {
+		t.Errorf("128-byte budget still built arenas: %d/%d", repTight.Cohorts, repTight.CohortCells)
+	}
+	roomy := &Runner{Cache: NewCellCache("", 0), Workers: 1}
+	repRoomy, err := roomy.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := artifactCSVs(t, repTight), artifactCSVs(t, repRoomy)
+	for name, csv := range a {
+		if !bytes.Equal(b[name], csv) {
+			t.Errorf("artifact %q differs under the tight budget", name)
+		}
+	}
+}
+
+// Worker lending: a campaign with fewer units than workers executes its sim
+// cells with borrowed replica workers, bit-identical to fully serial runs.
+func TestRunnerLendsIdleWorkersToCells(t *testing.T) {
+	c := cohortCampaign(t)
+	serial := &Runner{Cache: NewCellCache("", 0), Workers: 1}
+	repSerial, err := serial.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 cohorts, 16 workers: each cell runs with 4 replica workers.
+	lending := &Runner{Cache: NewCellCache("", 0), Workers: 16}
+	repLend, err := lending.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := artifactCSVs(t, repSerial), artifactCSVs(t, repLend)
+	for name, csv := range a {
+		if !bytes.Equal(b[name], csv) {
+			t.Errorf("artifact %q differs with lent workers", name)
+		}
+	}
+}
+
+// share_traces aligns seeds across protocols; without it every cell owns a
+// distinct process and no cohorts form.
+func TestShareTracesControlsCohorts(t *testing.T) {
+	c := cohortCampaign(t)
+	for _, s := range c.Scenarios {
+		s.ShareTraces = false
+	}
+	plan, err := PlanCampaign(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cohorts != 0 || plan.CohortCells != 0 {
+		t.Fatalf("without share_traces: %d cohorts / %d cells, want none", plan.Cohorts, plan.CohortCells)
+	}
+}
+
+// share_traces is rejected where it cannot apply (analytic heatmaps and
+// non-simulation kinds), like seed and reps.
+func TestShareTracesValidation(t *testing.T) {
+	load := func(js string) error {
+		_, err := Load(strings.NewReader(js))
+		return err
+	}
+	modelHeatmap := `{"name": "x", "scenarios": [
+	  {"name": "m", "kind": "heatmap", "protocol": "abft", "share_traces": true}]}`
+	if err := load(modelHeatmap); err == nil || !strings.Contains(err.Error(), "share_traces") {
+		t.Errorf("model-output heatmap with share_traces: err = %v", err)
+	}
+	periods := `{"name": "x", "scenarios": [
+	  {"name": "p", "kind": "periods", "share_traces": true}]}`
+	if err := load(periods); err == nil || !strings.Contains(err.Error(), "share_traces") {
+		t.Errorf("periods with share_traces: err = %v", err)
+	}
+	simHeatmap := `{"name": "x", "reps": 4, "scenarios": [
+	  {"name": "s", "kind": "heatmap", "output": "sim", "protocol": "abft", "share_traces": true,
+	   "mtbf_minutes": {"from": 60, "to": 120, "count": 2}, "alphas": {"from": 0, "to": 1, "count": 2}}]}`
+	if err := load(simHeatmap); err != nil {
+		t.Errorf("sim heatmap with share_traces must validate: %v", err)
+	}
+}

@@ -48,11 +48,12 @@ func (s *Spec) setFields() []string {
 	set(s.Alpha != nil, "alpha")
 	set(s.Label != "", "label")
 	set(len(s.Cases) > 0, "cases")
-	// seed and reps only drive simulation cells; on the purely analytic
-	// kinds they would be silently ignored, so they are validated like
-	// kind-specific fields.
+	// seed, reps and share_traces only drive simulation cells; on the purely
+	// analytic kinds they would be silently ignored, so they are validated
+	// like kind-specific fields.
 	set(s.Seed != nil, "seed")
 	set(s.Reps != 0, "reps")
+	set(s.ShareTraces, "share_traces")
 	return out
 }
 
@@ -60,12 +61,12 @@ func (s *Spec) setFields() []string {
 // fields — name, kind, title, notes, options — always apply; seed and reps
 // only on the simulation-backed kinds).
 var kindFields = map[string][]string{
-	KindHeatmap:     {"protocol", "platform", "platform_overrides", "output", "mtbf_minutes", "alphas", "distribution", "render", "seed", "reps"},
+	KindHeatmap:     {"protocol", "platform", "platform_overrides", "output", "mtbf_minutes", "alphas", "distribution", "render", "seed", "reps", "share_traces"},
 	KindScaling:     {"nodes", "series"},
 	KindPoints:      {"at_nodes", "rows"},
 	KindPeriods:     {"ckpt_costs", "mtbfs", "downtime"},
 	KindAblation:    {"variant", "platform", "protocol", "nodes"},
-	KindSensitivity: {"platform", "platform_overrides", "mtbf", "alpha", "label", "cases", "seed", "reps"},
+	KindSensitivity: {"platform", "platform_overrides", "mtbf", "alpha", "label", "cases", "seed", "reps", "share_traces"},
 }
 
 // checkFields rejects fields that exist in the schema but do not apply to
@@ -201,6 +202,8 @@ func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
 			return nil, fmt.Errorf("field %q only applies to output sim or diff", "seed")
 		case s.Reps != 0:
 			return nil, fmt.Errorf("field %q only applies to output sim or diff", "reps")
+		case s.ShareTraces:
+			return nil, fmt.Errorf("field %q only applies to output sim or diff", "share_traces")
 		}
 	}
 	if s.Protocol == "" {
@@ -253,7 +256,14 @@ func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
 				if op == OpSim {
 					cell.Epochs = 1
 					cell.Reps = reps
-					cell.Seed = rng.At(seed, uint64(proto), uint64(row), uint64(col))
+					// With share_traces the protocol stays out of the seed
+					// path, so same-seed specs over the same grid observe the
+					// same failure realizations per point.
+					if s.ShareTraces {
+						cell.Seed = rng.At(seed, uint64(row), uint64(col))
+					} else {
+						cell.Seed = rng.At(seed, uint64(proto), uint64(row), uint64(col))
+					}
 					cell.Dist = dist
 				}
 				cells = append(cells, cell)
@@ -640,6 +650,11 @@ func (s *Spec) expandSensitivity(c *Campaign) (*expansion, error) {
 		}
 		for _, proto := range model.Protocols {
 			cellSeed := rng.At(seed, uint64(i), uint64(proto))
+			if s.ShareTraces {
+				// All three protocols of the case observe the same failure
+				// realizations (paired comparison, cohort-replayable).
+				cellSeed = rng.At(seed, uint64(i))
+			}
 			if len(cs.SeedPath) > 0 {
 				cellSeed = rng.At(seed, cs.SeedPath...)
 			}

@@ -11,6 +11,12 @@ type Plan struct {
 	// deduplicates shared cells.
 	Cells  int `json:"cells"`
 	Unique int `json:"unique"`
+	// Cohorts counts groups of two or more unique simulation cells sharing
+	// one failure process (see SimProcessKey); CohortCells counts the cells
+	// inside those groups. When the runner executes with cohorts enabled,
+	// each group's failure streams are generated once and replayed.
+	Cohorts     int `json:"cohorts,omitempty"`
+	CohortCells int `json:"cohort_cells,omitempty"`
 	// Scenarios lists the per-scenario breakdown in campaign order.
 	Scenarios []ScenarioPlan `json:"scenarios"`
 }
@@ -34,7 +40,8 @@ func PlanCampaign(c *Campaign) (*Plan, error) {
 		return nil, err
 	}
 	p := &Plan{Campaign: c.Name}
-	unique := map[string]bool{}
+	unique := map[string]CellSpec{}
+	var order []string // unique cells in first-reference order
 	for _, ex := range exs {
 		sp := ScenarioPlan{
 			Name:      ex.spec.Name,
@@ -43,11 +50,21 @@ func PlanCampaign(c *Campaign) (*Plan, error) {
 			Artifacts: append([]string(nil), ex.artifacts...),
 		}
 		for _, cell := range ex.cells {
-			unique[cell.Hash()] = true
+			h := cell.Hash()
+			if _, ok := unique[h]; !ok {
+				unique[h] = cell
+				order = append(order, h)
+			}
 		}
 		p.Cells += len(ex.cells)
 		p.Scenarios = append(p.Scenarios, sp)
 	}
 	p.Unique = len(unique)
+	for _, co := range groupCohorts(order, func(h string) CellSpec { return unique[h] }) {
+		if len(co.hashes) > 1 {
+			p.Cohorts++
+			p.CohortCells += len(co.hashes)
+		}
+	}
 	return p, nil
 }

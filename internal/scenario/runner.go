@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"abftckpt/internal/sim"
 )
 
 // CellEvent reports the completion of one unique cell, streamed to
@@ -49,6 +51,11 @@ type Report struct {
 	// served by the cache (either tier, or an execution coalesced with a
 	// concurrent run sharing the cache); Executed ran in this run.
 	CacheHits, Executed int
+	// Cohorts counts the trace cohorts this run materialized (groups of
+	// uncached simulation cells sharing one failure process whose arrival
+	// arena was built); CohortCells counts the cells executed by replaying
+	// one of those arenas.
+	Cohorts, CohortCells int
 	// Artifacts holds the finished outputs in campaign order.
 	Artifacts []Artifact
 }
@@ -66,10 +73,23 @@ type Runner struct {
 	// CacheDir is the on-disk cell cache used when Cache is nil; empty
 	// disables disk caching.
 	CacheDir string
-	// Workers bounds cell-level parallelism (0: NumCPU). Simulation cells
-	// run single-threaded inside, so cells are the unit of parallelism;
-	// results are bit-identical for any worker count.
+	// Workers bounds cell-level parallelism (0: NumCPU). Cells (grouped
+	// into trace cohorts) are the unit of parallelism; when a campaign has
+	// fewer units than workers, the runner lends the idle workers to the
+	// simulation cells themselves (Workers / units replica workers per
+	// cell). Results are bit-identical for any worker count at either
+	// level (see sim.Simulate).
 	Workers int
+	// DisableCohorts turns off trace-cohort execution: every simulation
+	// cell regenerates its own failure streams. Results are identical
+	// either way (sim.SimulateFromTrace is bit-identical to sim.Simulate);
+	// the toggle exists for benchmarking and as an operational escape
+	// hatch.
+	DisableCohorts bool
+	// ArenaBudget bounds one cohort's materialized trace arena in bytes
+	// (0: DefaultArenaBudget). Cohorts whose estimated arena exceeds the
+	// budget fall back to per-cell generation.
+	ArenaBudget int64
 	// OnPlan, when set, receives the expanded campaign plan once, before
 	// any cell runs.
 	OnPlan func(Plan)
@@ -137,6 +157,12 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 	report := &Report{Campaign: c.Name, Cells: totalRefs, Unique: len(order)}
 	if r.OnPlan != nil {
 		plan := Plan{Campaign: c.Name, Cells: totalRefs, Unique: len(order)}
+		for _, co := range groupCohorts(order, func(h string) CellSpec { return states[h].spec }) {
+			if len(co.hashes) > 1 {
+				plan.Cohorts++
+				plan.CohortCells += len(co.hashes)
+			}
+		}
 		for _, run := range runs {
 			plan.Scenarios = append(plan.Scenarios, ScenarioPlan{
 				Name:      run.ex.spec.Name,
@@ -223,21 +249,43 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 		}
 	}
 
-	// Execute the remaining cells on the pool, through the cache: a
-	// concurrent run sharing the cache may have executed (or be executing)
-	// the same cell, in which case the tier reports a hit and the cell
-	// counts as cached, not executed. Completion handling runs under the
-	// mutex: mark the cell done, decrement every subscribed scenario,
-	// assemble those that hit zero.
-	workers := r.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	// Group the remaining cells into trace cohorts (cells sharing one
+	// failure process; everything else rides as a singleton) and execute
+	// one cohort per worker, through the cache: a concurrent run sharing
+	// the cache may have executed (or be executing) a cell, in which case
+	// the tier reports a hit and the cell counts as cached, not executed.
+	// Completion handling runs under the mutex: mark the cell done,
+	// decrement every subscribed scenario, assemble those that hit zero.
+	batches := groupCohorts(todo, func(h string) CellSpec { return states[h].spec })
+	if r.DisableCohorts {
+		batches = nil
+		for _, h := range todo {
+			batches = append(batches, cohort{hashes: []string{h}})
+		}
 	}
-	if workers > len(todo) {
-		workers = len(todo)
+	budget := r.ArenaBudget
+	if budget <= 0 {
+		budget = DefaultArenaBudget
 	}
-	if len(todo) > 0 {
-		jobs := make(chan string)
+	totalWorkers := r.Workers
+	if totalWorkers <= 0 {
+		totalWorkers = runtime.NumCPU()
+	}
+	workers := totalWorkers
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	// Idle-worker lending: with fewer schedulable units than workers, the
+	// spare parallelism moves inside the simulation cells (replica-level
+	// workers), which is bit-identical to single-threaded execution.
+	simWorkers := 1
+	if len(batches) > 0 {
+		if lent := totalWorkers / len(batches); lent > 1 {
+			simWorkers = lent
+		}
+	}
+	if len(batches) > 0 {
+		jobs := make(chan cohort)
 		var wg sync.WaitGroup
 		failed := func() bool {
 			mu.Lock()
@@ -248,60 +296,86 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				for h := range jobs {
+				for co := range jobs {
 					// After the first error only drain the queue; do not
 					// start new work.
 					if failed() {
 						continue
 					}
-					st := states[h]
-					start := time.Now()
-					res, tier, err := cache.do(st.spec, st.spec.Execute)
-					elapsed := time.Since(start)
-					mu.Lock()
-					if err != nil {
-						if firstErr == nil {
-							firstErr = err
+					// Materialize the cohort's failure process once; nil
+					// (singleton, bad spec or over-budget arena) falls back
+					// to per-cell generation.
+					var arena *sim.TraceArena
+					if len(co.hashes) > 1 {
+						cells := make([]CellSpec, len(co.hashes))
+						for i, h := range co.hashes {
+							cells[i] = states[h].spec
 						}
-						mu.Unlock()
-						continue
+						if arena = buildCohortArena(co, cells, budget); arena != nil {
+							mu.Lock()
+							report.Cohorts++
+							mu.Unlock()
+						}
 					}
-					st.result, st.done = res, true
-					st.cached = tier != TierExec
-					if st.cached {
-						report.CacheHits++
-						elapsed = 0
-					} else {
-						report.Executed++
-					}
-					completed++
-					// Callbacks run under the lock: they are never invoked
-					// concurrently, at the price of serializing progress
-					// reporting (cell execution itself stays parallel).
-					emit(CellEvent{Hash: h, Index: completed, Total: len(order), Cached: st.cached, Elapsed: elapsed})
-					// A scenario may reference the same cell more than once;
-					// subscribers holds one entry per reference, so every
-					// reference is decremented exactly once.
-					for _, run := range subscribers[h] {
-						if firstErr != nil {
+					for _, h := range co.hashes {
+						if failed() {
 							break
 						}
-						run.pending--
-						done := run.pending == 0 && artifacts[run.slot] == nil
-						if done {
-							if err := finishSpec(run); err != nil && firstErr == nil {
+						st := states[h]
+						opts := ExecOptions{Workers: simWorkers, Arena: arena}
+						start := time.Now()
+						res, tier, err := cache.do(st.spec, func() (CellResult, error) {
+							return st.spec.ExecuteOpts(opts)
+						})
+						elapsed := time.Since(start)
+						mu.Lock()
+						if err != nil {
+							if firstErr == nil {
 								firstErr = err
-								break
+							}
+							mu.Unlock()
+							continue
+						}
+						st.result, st.done = res, true
+						st.cached = tier != TierExec
+						if st.cached {
+							report.CacheHits++
+							elapsed = 0
+						} else {
+							report.Executed++
+							if arena != nil {
+								report.CohortCells++
 							}
 						}
-						emitScenario(run, done)
+						completed++
+						// Callbacks run under the lock: they are never invoked
+						// concurrently, at the price of serializing progress
+						// reporting (cell execution itself stays parallel).
+						emit(CellEvent{Hash: h, Index: completed, Total: len(order), Cached: st.cached, Elapsed: elapsed})
+						// A scenario may reference the same cell more than
+						// once; subscribers holds one entry per reference, so
+						// every reference is decremented exactly once.
+						for _, run := range subscribers[h] {
+							if firstErr != nil {
+								break
+							}
+							run.pending--
+							done := run.pending == 0 && artifacts[run.slot] == nil
+							if done {
+								if err := finishSpec(run); err != nil && firstErr == nil {
+									firstErr = err
+									break
+								}
+							}
+							emitScenario(run, done)
+						}
+						mu.Unlock()
 					}
-					mu.Unlock()
 				}
 			}()
 		}
-		for _, h := range todo {
-			jobs <- h
+		for _, co := range batches {
+			jobs <- co
 		}
 		close(jobs)
 		wg.Wait()

@@ -223,6 +223,16 @@ type Spec struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Reps overrides the campaign repetition count.
 	Reps int `json:"reps,omitempty"`
+	// ShareTraces drops the protocol from simulation-cell seed derivation,
+	// so the specs of a campaign that simulate the same platform point with
+	// the same seed observe identical failure realizations — the paper's
+	// paired-comparison methodology (protocols judged on the same traces,
+	// which also cancels trace noise out of waste differences). Shared
+	// processes additionally let the runner generate each failure stream
+	// once per cohort and replay it across cells (see docs/ARCHITECTURE.md,
+	// "trace cohorts"). Simulation-backed kinds only; off by default, which
+	// keeps historical seeds (and golden artifacts) unchanged.
+	ShareTraces bool `json:"share_traces,omitempty"`
 
 	// Protocol is the protocol under study (heatmap and ablation kinds).
 	Protocol string `json:"protocol,omitempty"`

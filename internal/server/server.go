@@ -13,7 +13,7 @@
 //	POST /v1/cells                         evaluate one cell synchronously
 //	                                       (X-Cache reports the tier)
 //	GET  /v1/platforms                     the built-in platform catalogue
-//	GET  /v1/stats                         cache-tier counters
+//	GET  /v1/stats                         cache-tier and trace-cohort counters
 //	GET  /healthz                          liveness probe (plain text)
 //
 // Every campaign job and every cell evaluation runs through one shared
@@ -70,9 +70,19 @@ type Server struct {
 	maxJobs int
 	runSem  chan struct{} // bounds concurrently executing jobs
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // job ids in creation order, for eviction
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // job ids in creation order, for eviction
+	cohorts CohortStats
+}
+
+// CohortStats counts trace-cohort work across all finished campaign jobs:
+// Built is the number of shared failure-process arenas materialized,
+// ReplayedCells the number of simulation cells executed by replaying one.
+// The counters are cumulative and monotone, like CacheStats.
+type CohortStats struct {
+	Built         int64 `json:"built"`
+	ReplayedCells int64 `json:"replayed_cells"`
 }
 
 // New returns a Server over the given configuration.
@@ -206,6 +216,12 @@ func (s *Server) runJob(j *job, campaign *scenario.Campaign) {
 		OnArtifact: j.onArtifact,
 	}
 	report, err := runner.Run(campaign)
+	if report != nil {
+		s.mu.Lock()
+		s.cohorts.Built += int64(report.Cohorts)
+		s.cohorts.ReplayedCells += int64(report.CohortCells)
+		s.mu.Unlock()
+	}
 	j.finish(report, err)
 }
 
@@ -301,10 +317,15 @@ func (s *Server) handlePlatforms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleStats reports the shared cache's tier counters.
+// handleStats reports the shared cache's tier counters and the cumulative
+// trace-cohort work of finished jobs.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	cohorts := s.cohorts
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, struct {
-		Cache scenario.CacheStats `json:"cache"`
-		Time  time.Time           `json:"time"`
-	}{Cache: s.cache.Stats(), Time: time.Now().UTC()})
+		Cache   scenario.CacheStats `json:"cache"`
+		Cohorts CohortStats         `json:"cohorts"`
+		Time    time.Time           `json:"time"`
+	}{Cache: s.cache.Stats(), Cohorts: cohorts, Time: time.Now().UTC()})
 }

@@ -428,10 +428,49 @@ func TestPlatformsAndHealth(t *testing.T) {
 	}
 
 	var stats struct {
-		Cache scenario.CacheStats `json:"cache"`
+		Cache   scenario.CacheStats `json:"cache"`
+		Cohorts CohortStats         `json:"cohorts"`
 	}
 	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
 		t.Errorf("stats code %d", code)
+	}
+}
+
+// TestStatsCountsCohorts runs a campaign whose simulation cells share
+// failure processes (share_traces) and checks the trace-cohort work shows
+// up in /v1/stats.
+func TestStatsCountsCohorts(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const cohortCampaign = `{
+	  "name": "cohorts",
+	  "seed": 3,
+	  "reps": 8,
+	  "scenarios": [
+	    {"name": "sim_pure", "kind": "heatmap", "output": "sim", "protocol": "pure",
+	     "share_traces": true,
+	     "mtbf_minutes": {"values": [120]}, "alphas": {"values": [0.5]}},
+	    {"name": "sim_abft", "kind": "heatmap", "output": "sim", "protocol": "abft",
+	     "share_traces": true,
+	     "mtbf_minutes": {"values": [120]}, "alphas": {"values": [0.5]}}
+	  ]
+	}`
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/campaigns", cohortCampaign, &created); code != http.StatusAccepted {
+		t.Fatalf("create: code %d", code)
+	}
+	if st := waitDone(t, ts.URL, created.ID); st.State != StateDone {
+		t.Fatalf("job state %q (error %q)", st.State, st.Error)
+	}
+	var stats struct {
+		Cohorts CohortStats `json:"cohorts"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats code %d", code)
+	}
+	if stats.Cohorts.Built != 1 || stats.Cohorts.ReplayedCells != 2 {
+		t.Errorf("cohort stats = %+v, want 1 arena built and 2 cells replayed", stats.Cohorts)
 	}
 }
 

@@ -42,7 +42,7 @@ func TestReplicaRunnerMatchesSimulateOnce(t *testing.T) {
 			cfg.UseEventCalendar = useDES
 			cfg = cfg.withDefaults()
 			phases := epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard)
-			rr := newReplicaRunner(cfg, phases, periodicChunkSchedules(phases), cfg.Distribution(cfg.Params.Mu))
+			rr := newReplicaRunner(cfg, phases, periodicChunkSchedules(phases), cfg.Distribution(cfg.Params.Mu), nil)
 			truncated := 0
 			for rep := 0; rep < 48; rep++ {
 				got := rr.run(rep)
@@ -74,7 +74,7 @@ func TestReplicaRunnerMatchesSimulateOnce(t *testing.T) {
 func TestReplicaRunnerIsStateless(t *testing.T) {
 	cfg := equivConfigs()[0].withDefaults()
 	phases := epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard)
-	rr := newReplicaRunner(cfg, phases, periodicChunkSchedules(phases), cfg.Distribution(cfg.Params.Mu))
+	rr := newReplicaRunner(cfg, phases, periodicChunkSchedules(phases), cfg.Distribution(cfg.Params.Mu), nil)
 	first := rr.run(17)
 	for _, rep := range []int{3, 99, 0, 17, 41} {
 		rr.run(rep)
@@ -101,7 +101,7 @@ func TestReplicaRunnerAllocFree(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := tc.cfg.withDefaults()
 			phases := epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard)
-			rr := newReplicaRunner(cfg, phases, periodicChunkSchedules(phases), cfg.Distribution(cfg.Params.Mu))
+			rr := newReplicaRunner(cfg, phases, periodicChunkSchedules(phases), cfg.Distribution(cfg.Params.Mu), nil)
 			rep := 0
 			allocs := testing.AllocsPerRun(100, func() {
 				_ = rr.run(rep)

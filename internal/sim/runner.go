@@ -48,6 +48,17 @@ type replicaRunner struct {
 	// "completed" accumulation on the critical path.
 	chunkSched [][]float64
 
+	// Trace-replay state: when tr is non-nil the runner replays the
+	// materialized arrival prefix arrivals[trPos:trEnd] of the current
+	// replica instead of drawing; once the prefix is exhausted, trLive
+	// restores the replica's saved generator state and drawing continues
+	// scalar — bit-identical to never having materialized anything.
+	tr           *TraceArena
+	trPos, trEnd int
+	trRep        int
+	trLive       bool
+	ts           traceSource
+
 	// Timeline state, mirroring the timeline type field for field.
 	now    float64
 	next   float64
@@ -88,11 +99,12 @@ func periodicChunkSchedules(phases []phaseSpec) [][]float64 {
 }
 
 // newReplicaRunner prepares a worker-local runner. cfg must already have
-// defaults applied; phases, chunkSched and distrib are shared across
-// workers (all are pure values, and Distribution.Sample must be safe for
-// concurrent use).
-func newReplicaRunner(cfg Config, phases []phaseSpec, chunkSched [][]float64, distrib dist.Distribution) *replicaRunner {
-	r := &replicaRunner{cfg: cfg, phases: phases, chunkSched: chunkSched, distrib: distrib}
+// defaults applied; phases, chunkSched, distrib and tr are shared across
+// workers (all are pure or read-only values, and Distribution.Sample must be
+// safe for concurrent use). A nil tr generates failure arrivals on the fly;
+// a non-nil tr replays its materialized streams.
+func newReplicaRunner(cfg Config, phases []phaseSpec, chunkSched [][]float64, distrib dist.Distribution, tr *TraceArena) *replicaRunner {
+	r := &replicaRunner{cfg: cfg, phases: phases, chunkSched: chunkSched, distrib: distrib, tr: tr}
 	r.useful = float64(cfg.Epochs) * cfg.Params.T0
 	r.horizon = cfg.MaxTimeFactor * math.Max(r.useful, 1)
 	if e, ok := distrib.(dist.Exponential); ok {
@@ -103,31 +115,50 @@ func newReplicaRunner(cfg Config, phases []phaseSpec, chunkSched [][]float64, di
 		r.eng = des.New()
 		r.eng.EnableEventReuse()
 	}
+	r.ts.r = r
 	return r
 }
 
 // run executes repetition rep on the substream rng.At(Seed, rep).
 func (r *replicaRunner) run(rep int) RunResult {
-	r.src.Reseed(rng.At1(r.cfg.Seed, uint64(rep)))
-	if r.eng != nil {
-		// Event-calendar path: reuse the engine and the renewal source, let
-		// the calendar drive the protocol exactly as SimulateOnceDES does.
-		r.eng.Reset()
-		r.fs = RenewalSource{dist: r.distrib, src: &r.src}
-		r.fs.next = r.distrib.Sample(&r.src)
-		return simulateOnceDES(r.eng, r.cfg, r.phases, &r.fs)
+	if r.tr == nil {
+		r.src.Reseed(rng.At1(r.cfg.Seed, uint64(rep)))
+		if r.eng != nil {
+			// Event-calendar path: reuse the engine and the renewal source,
+			// let the calendar drive the protocol exactly as SimulateOnceDES
+			// does.
+			r.eng.Reset()
+			r.fs = RenewalSource{dist: r.distrib, src: &r.src}
+			r.fs.next = r.distrib.Sample(&r.src)
+			return simulateOnceDES(r.eng, r.cfg, r.phases, &r.fs)
+		}
+		if r.isExp {
+			// Exponential failures take the fully registerized walker.
+			return r.runExp()
+		}
+	} else {
+		// Trace replay: point the cursor at the replica's materialized
+		// prefix; nextArrival reads it (and continues live past its end).
+		r.trRep = rep
+		r.trPos, r.trEnd = r.tr.offsets[rep], r.tr.offsets[rep+1]
+		r.trLive = false
+		if r.eng != nil {
+			r.eng.Reset()
+			// Mirror NewRenewalSource: one draw at construction.
+			r.ts.next = r.nextArrival(0)
+			return simulateOnceDES(r.eng, r.cfg, r.phases, &r.ts)
+		}
 	}
-	if r.isExp {
-		// Exponential failures take the fully registerized walker.
-		return r.runExp()
-	}
+	// Scalar timeline walker: non-exponential laws, and every trace replay
+	// (replay has no sampling to batch, so the registerized exponential
+	// walker holds no advantage over plain arena loads).
 	r.b = Breakdown{}
 	r.now, r.faults, r.capped = 0, 0, false
 	// First failure: one draw at construction (NewRenewalSource), then the
 	// NextAfter(0) top-up loop of newTimeline.
-	next := r.sample()
+	next := r.nextArrival(0)
 	for next <= 0 {
-		next += r.sample()
+		next = r.nextArrival(next)
 	}
 	r.next = next
 
@@ -148,12 +179,31 @@ func (r *replicaRunner) run(rep int) RunResult {
 	return res
 }
 
-// sample draws one inter-arrival time.
-func (r *replicaRunner) sample() float64 {
-	if r.isExp {
-		return r.negMTBF * math.Log(r.src.Float64Open())
+// nextArrival returns the failure arrival following next (the running
+// prefix sum of inter-arrival draws). Replayed arrivals come straight from
+// the arena; past the materialized prefix — or with no arena at all — the
+// draw is performed live, with the sampling law resolved once. The float
+// accumulation next + sample matches RenewalSource.NextAfter's next +=
+// sample exactly, and an arena load returns the identical value that
+// accumulation produced at build time.
+func (r *replicaRunner) nextArrival(next float64) float64 {
+	if r.tr != nil {
+		if r.trPos < r.trEnd {
+			v := r.tr.arrivals[r.trPos]
+			r.trPos++
+			return v
+		}
+		if !r.trLive {
+			// First draw past the prefix: resume the replica's generator
+			// exactly where arena generation left it.
+			r.src.Restore(r.tr.states[r.trRep])
+			r.trLive = true
+		}
 	}
-	return r.distrib.Sample(&r.src)
+	if r.isExp {
+		return next + r.negMTBF*math.Log(r.src.Float64Open())
+	}
+	return next + r.distrib.Sample(&r.src)
 }
 
 // advance is timeline.run inlined over the runner state: attempt an action
@@ -173,16 +223,10 @@ func (r *replicaRunner) advance(d float64) (float64, bool) {
 	done := r.next - r.now
 	r.now = r.next
 	r.faults++
-	// RenewalSource.NextAfter(r.now), with the sampling law resolved once.
+	// RenewalSource.NextAfter(r.now).
 	next := r.next
-	if r.isExp {
-		for next <= r.now {
-			next += r.negMTBF * math.Log(r.src.Float64Open())
-		}
-	} else {
-		for next <= r.now {
-			next += r.distrib.Sample(&r.src)
-		}
+	for next <= r.now {
+		next = r.nextArrival(next)
 	}
 	r.next = next
 	if r.now > r.horizon {

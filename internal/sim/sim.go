@@ -114,7 +114,7 @@ type Config struct {
 	// Safeguard enables the Section III-B ABFT-activation rule.
 	Safeguard bool
 	// MaxTimeFactor caps a run at MaxTimeFactor*(Epochs*T0) to keep
-	// infeasible scenarios finite; default 10000.
+	// infeasible scenarios finite; default DefaultMaxTimeFactor.
 	MaxTimeFactor float64
 	// UseEventCalendar selects the internal/des event-calendar simulator
 	// (SimulateOnceDES) instead of the timeline walker. Both implement
@@ -122,6 +122,12 @@ type Config struct {
 	// exists for cross-validation and benchmarking.
 	UseEventCalendar bool
 }
+
+// DefaultMaxTimeFactor is the Config.MaxTimeFactor default: the horizon
+// bound of a run in units of its fault-free useful time. Exported so
+// schedulers deriving failure-process identities (internal/scenario's
+// cohort keys) can name the same bound.
+const DefaultMaxTimeFactor = 1e4
 
 func (c Config) withDefaults() Config {
 	if c.Epochs <= 0 {
@@ -134,7 +140,7 @@ func (c Config) withDefaults() Config {
 		c.Distribution = func(mtbf float64) dist.Distribution { return dist.NewExponential(mtbf) }
 	}
 	if c.MaxTimeFactor <= 0 {
-		c.MaxTimeFactor = 1e4
+		c.MaxTimeFactor = DefaultMaxTimeFactor
 	}
 	return c
 }
@@ -416,15 +422,21 @@ func Simulate(cfg Config) Aggregate {
 	if err := cfg.Params.Validate(); err != nil {
 		panic(err)
 	}
-	// Resolve the distribution and the phase sequence once up front: both
-	// are pure values shared by every worker, and a misconfigured
-	// distribution (e.g. non-positive shape) or an unknown protocol panics
-	// here on the caller's goroutine, where it is recoverable, instead of
-	// inside a worker.
+	// Resolve the distribution once up front: it is a pure value shared by
+	// every worker, and a misconfigured distribution (e.g. non-positive
+	// shape) or an unknown protocol panics here on the caller's goroutine,
+	// where it is recoverable, instead of inside a worker.
 	distrib := cfg.Distribution(cfg.Params.Mu)
 	if distrib == nil {
 		panic("sim: Config.Distribution returned nil")
 	}
+	return simulateAggregate(cfg, distrib, nil)
+}
+
+// simulateAggregate is the shared body of Simulate and SimulateFromTrace:
+// cfg must already have defaults applied and distrib be resolved; a non-nil
+// tr switches the runners to trace replay.
+func simulateAggregate(cfg Config, distrib dist.Distribution, tr *TraceArena) Aggregate {
 	phases := epochPhases(cfg.Protocol, cfg.Params, cfg.Safeguard)
 	chunkSched := periodicChunkSchedules(phases)
 	workers := cfg.Workers
@@ -436,7 +448,7 @@ func Simulate(cfg Config) Aggregate {
 	}
 	runners := make([]*replicaRunner, workers)
 	for w := range runners {
-		runners[w] = newReplicaRunner(cfg, phases, chunkSched, distrib)
+		runners[w] = newReplicaRunner(cfg, phases, chunkSched, distrib, tr)
 	}
 	var waste, faults, tfinal, work, ckpt, lost, recovery stats.Accumulator
 	truncated := 0
