@@ -44,6 +44,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "cell-level parallelism per campaign job (0: NumCPU)")
 	maxJobs := fs.Int("max-jobs", server.DefaultMaxJobs, "retained jobs before the oldest finished one is evicted")
 	maxRunning := fs.Int("max-running", server.DefaultMaxRunning, "concurrently executing campaign jobs; excess jobs queue")
+	maxQueued := fs.Int("max-queued", server.DefaultMaxQueued, "queued campaign jobs before submissions get 429 + Retry-After")
+	maxInflightCells := fs.Int("max-inflight-cells", server.DefaultMaxInflightCells(), "concurrent POST /v1/cells requests before 429 + Retry-After")
+	admissionWait := fs.Duration("admission-wait", server.DefaultAdmissionWait, "how long a cell request may wait for a slot before 429 (negative: reject immediately)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile campaign hot spots in place)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -57,10 +60,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv := server.New(server.Config{
-		Cache:      scenario.NewCellCache(*cacheDir, *memCells),
-		Workers:    *workers,
-		MaxJobs:    *maxJobs,
-		MaxRunning: *maxRunning,
+		Cache:            scenario.NewCellCache(*cacheDir, *memCells),
+		Workers:          *workers,
+		MaxJobs:          *maxJobs,
+		MaxRunning:       *maxRunning,
+		MaxQueued:        *maxQueued,
+		MaxInflightCells: *maxInflightCells,
+		AdmissionWait:    *admissionWait,
 	})
 	handler := srv.Handler()
 	if *pprofOn {

@@ -39,6 +39,14 @@ type CacheStats struct {
 	// Coalesced counts requests that joined an identical in-flight
 	// execution instead of starting their own.
 	Coalesced int64 `json:"coalesced"`
+	// StoreErrors counts executed cells whose result could not be written
+	// to the disk tier (full disk, read-only directory, …). The result is
+	// still returned and kept in memory — a broken disk tier degrades the
+	// cache, never the request.
+	StoreErrors int64 `json:"store_errors"`
+	// ExecErrors counts cell executions that failed outright (the request
+	// observed an error and nothing was cached).
+	ExecErrors int64 `json:"exec_errors"`
 }
 
 // DefaultMemCells bounds the in-memory tier when NewCellCache is given no
@@ -201,6 +209,7 @@ func (c *CellCache) do(spec CellSpec, exec func() (CellResult, error)) (CellResu
 	var res CellResult
 	var err error
 	hit := false
+	storeFailed := false
 	if c.dir != "" {
 		c.mu.Lock()
 		c.stats.DiskReads++
@@ -211,8 +220,12 @@ func (c *CellCache) do(spec CellSpec, exec func() (CellResult, error)) (CellResu
 		tier = TierExec
 		start := time.Now()
 		res, err = exec()
+		// A cache-write failure must not masquerade as an execution
+		// failure: the result is correct, only the disk tier is degraded
+		// (full disk, read-only directory). Keep the result, serve it to
+		// every coalesced waiter, and count the store error.
 		if err == nil {
-			err = storeCell(c.dir, spec, res, float64(time.Since(start).Microseconds())/1000)
+			storeFailed = storeCell(c.dir, spec, res, float64(time.Since(start).Microseconds())/1000) != nil
 		}
 	}
 	c.mu.Lock()
@@ -222,7 +235,12 @@ func (c *CellCache) do(spec CellSpec, exec func() (CellResult, error)) (CellResu
 		} else {
 			c.stats.Executed++
 		}
+		if storeFailed {
+			c.stats.StoreErrors++
+		}
 		c.insertLocked(hash, res)
+	} else {
+		c.stats.ExecErrors++
 	}
 	delete(c.flight, hash)
 	c.mu.Unlock()

@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -177,6 +179,99 @@ func TestCellCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestCellCacheStoreErrorDegradesGracefully is the regression test for
+// the store/exec conflation bug: when the disk tier cannot be written (a
+// full or read-only cache directory), a *successful* execution must still
+// return its result, insert it into the memory tier, and serve coalesced
+// waiters — the failure is only counted in StoreErrors.
+func TestCellCacheStoreErrorDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	spec := periodsCell(model.Hour)
+	// Block the shard directory with a regular file: storeCell's MkdirAll
+	// fails with ENOTDIR regardless of privileges (chmod tricks are
+	// bypassed when tests run as root).
+	if err := os.WriteFile(filepath.Join(dir, spec.Hash()[:2]), []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCellCache(dir, 16)
+
+	res, tier, err := c.do(spec, func() (CellResult, error) { return modelResult(42), nil })
+	if err != nil {
+		t.Fatalf("store failure surfaced as an execution error: %v", err)
+	}
+	if tier != TierExec || float64(res.Model.TFinal) != 42 {
+		t.Fatalf("tier %q result %v, want exec/42", tier, res.Model)
+	}
+	s := c.Stats()
+	if s.StoreErrors != 1 || s.Executed != 1 || s.ExecErrors != 0 {
+		t.Errorf("stats = %+v, want 1 executed, 1 store error, 0 exec errors", s)
+	}
+	// The result went into the memory tier: a repeat is a mem hit, not a
+	// re-execution against the broken disk.
+	res2, tier, err := c.GetOrExecute(spec)
+	if err != nil || tier != TierMem {
+		t.Fatalf("repeat after store failure: tier %q err %v, want mem", tier, err)
+	}
+	if mustCanonicalResult(t, res) != mustCanonicalResult(t, res2) {
+		t.Error("memory tier served a different result")
+	}
+	if s := c.Stats(); s.StoreErrors != 1 || s.Executed != 1 {
+		t.Errorf("repeat mutated counters: %+v", s)
+	}
+}
+
+// TestCellCacheStoreErrorServesWaiters checks coalesced waiters on a cell
+// whose store fails still receive the successful result.
+func TestCellCacheStoreErrorServesWaiters(t *testing.T) {
+	dir := t.TempDir()
+	spec := periodsCell(model.Hour)
+	if err := os.WriteFile(filepath.Join(dir, spec.Hash()[:2]), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCellCache(dir, 16)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	exec := func() (CellResult, error) {
+		close(started)
+		<-release
+		return modelResult(7), nil
+	}
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(spec, exec)
+		leaderErr <- err
+	}()
+	<-started
+	waiterDone := make(chan error, 1)
+	var waiterRes CellResult
+	go func() {
+		res, tier, err := c.do(spec, nil)
+		if err == nil && tier != TierCoalesced && tier != TierMem {
+			err = fmt.Errorf("waiter tier = %q", tier)
+		}
+		waiterRes = res
+		waiterDone <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Coalesced < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter poisoned by the store failure: %v", err)
+	}
+	if float64(waiterRes.Model.TFinal) != 7 {
+		t.Errorf("waiter result = %v, want 7", waiterRes.Model)
+	}
+}
+
 // TestCellCacheExecError checks failed executions are not cached and do
 // not poison waiters beyond the failing call.
 func TestCellCacheExecError(t *testing.T) {
@@ -186,8 +281,8 @@ func TestCellCacheExecError(t *testing.T) {
 	if _, _, err := c.do(spec, func() (CellResult, error) { return CellResult{}, boom }); err != boom {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	if s := c.Stats(); s.Executed != 0 {
-		t.Errorf("failed execution counted as executed: %+v", s)
+	if s := c.Stats(); s.Executed != 0 || s.ExecErrors != 1 {
+		t.Errorf("failed execution miscounted: %+v, want 0 executed / 1 exec error", s)
 	}
 	// The failure is not cached: the next call re-executes and succeeds.
 	res, tier, err := c.do(spec, func() (CellResult, error) { return modelResult(7), nil })

@@ -28,6 +28,7 @@ type job struct {
 	errMsg    string
 	created   time.Time
 	ended     time.Time
+	queueWait time.Duration // time spent waiting for a run slot
 	plan      *scenario.Plan
 	cellsDone int
 	cached    int
@@ -65,11 +66,13 @@ func newJob(campaign string) *job {
 	}
 }
 
-// setRunning marks the job as executing (it acquired a run slot).
-func (j *job) setRunning() {
+// setRunning marks the job as executing (it acquired a run slot after
+// waiting queueWait in state "queued").
+func (j *job) setRunning(queueWait time.Duration) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = StateRunning
+	j.queueWait = queueWait
 }
 
 // setPlan records the expanded plan (Runner.OnPlan).
@@ -184,6 +187,9 @@ type jobStatus struct {
 	Artifacts []artifactInfo   `json:"artifacts"`
 	Created   time.Time        `json:"created"`
 	Ended     *time.Time       `json:"ended,omitempty"`
+	// QueueWaitMS is how long the job waited for a run slot (0 until it
+	// leaves state "queued").
+	QueueWaitMS float64 `json:"queue_wait_ms"`
 }
 
 // status snapshots the job for the API.
@@ -191,11 +197,12 @@ func (j *job) status() jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := jobStatus{
-		ID:       j.id,
-		Campaign: j.campaign,
-		State:    j.state,
-		Error:    j.errMsg,
-		Created:  j.created,
+		ID:          j.id,
+		Campaign:    j.campaign,
+		State:       j.state,
+		Error:       j.errMsg,
+		Created:     j.created,
+		QueueWaitMS: durationMS(j.queueWait),
 	}
 	st.Cells.Done = j.cellsDone
 	st.Cells.Cached = j.cached

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"abftckpt/internal/scenario"
+)
+
+// TestLatWindowQuantiles pins the percentile estimator: exact quantiles
+// on a small set, and the window sliding once past capacity.
+func TestLatWindowQuantiles(t *testing.T) {
+	var w latWindow
+	if q := w.quantiles(0.5, 0.99); q[0] != 0 || q[1] != 0 {
+		t.Errorf("empty window quantiles = %v, want zeros", q)
+	}
+	for _, ms := range []float64{5, 1, 4, 2, 3} {
+		w.observe(ms)
+	}
+	q := w.quantiles(0, 0.5, 1)
+	if q[0] != 1 || q[1] != 3 || q[2] != 5 {
+		t.Errorf("quantiles = %v, want [1 3 5]", q)
+	}
+	// Overflow the ring with a constant: old samples must age out.
+	for i := 0; i < latWindowSize; i++ {
+		w.observe(10)
+	}
+	q = w.quantiles(0, 1)
+	if q[0] != 10 || q[1] != 10 {
+		t.Errorf("post-overflow quantiles = %v, want [10 10]", q)
+	}
+}
+
+// TestMetricsObserveAggregates checks endpoint/tier aggregation and the
+// rejected-vs-error split (429 is backpressure, not an error).
+func TestMetricsObserveAggregates(t *testing.T) {
+	m := NewMetrics()
+	m.Observe(RequestSample{Endpoint: "cells", Method: "POST", Status: 200, Tier: "exec", DurationMS: 10, QueueWaitMS: 2})
+	m.Observe(RequestSample{Endpoint: "cells", Method: "POST", Status: 200, Tier: "mem", DurationMS: 1})
+	m.Observe(RequestSample{Endpoint: "cells", Method: "POST", Status: 429, DurationMS: 0.1})
+	m.Observe(RequestSample{Endpoint: "cells", Method: "POST", Status: 400, DurationMS: 0.2})
+	m.Observe(RequestSample{Endpoint: "stats", Method: "GET", Status: 200, DurationMS: 0.5})
+
+	eps := m.EndpointSummaries()
+	if len(eps) != 2 || eps[0].Endpoint != "cells" || eps[1].Endpoint != "stats" {
+		t.Fatalf("endpoint summaries = %+v", eps)
+	}
+	cells := eps[0]
+	if cells.Requests != 4 || cells.Rejected != 1 || cells.Errors != 1 {
+		t.Errorf("cells = %+v, want 4 requests, 1 rejected, 1 error", cells)
+	}
+	if cells.MaxMS != 10 {
+		t.Errorf("max = %v, want 10", cells.MaxMS)
+	}
+	wantAvgQueue := (2.0 + 0 + 0 + 0) / 4
+	if cells.AvgQueueWaitMS != wantAvgQueue {
+		t.Errorf("avg queue wait = %v, want %v", cells.AvgQueueWaitMS, wantAvgQueue)
+	}
+
+	tiers := m.TierSummaries()
+	if len(tiers) != 2 || tiers[0].Tier != "exec" || tiers[1].Tier != "mem" {
+		t.Fatalf("tier summaries = %+v", tiers)
+	}
+	if tiers[0].Requests != 1 || tiers[1].Requests != 1 {
+		t.Errorf("tier request counts = %+v", tiers)
+	}
+}
+
+// TestWritePromTextShape checks the exposition is parseable line-oriented
+// text with the expected families and stable label ordering.
+func TestWritePromTextShape(t *testing.T) {
+	m := NewMetrics()
+	m.Observe(RequestSample{Endpoint: "cells", Method: "POST", Status: 200, Tier: "exec", DurationMS: 3})
+	m.Observe(RequestSample{Endpoint: "cells", Method: "POST", Status: 429, DurationMS: 0.1})
+
+	var sb strings.Builder
+	m.WritePromText(&sb, promGauges{
+		QueuedJobs: 1, RunningJobs: 2, InflightCells: 3,
+		Cache:   scenario.CacheStats{MemHits: 7, StoreErrors: 5, ExecErrors: 1},
+		Cohorts: CohortStats{Built: 4, ReplayedCells: 9},
+	})
+	text := sb.String()
+	for _, want := range []string{
+		`ftserve_requests_total{endpoint="cells",status="200"} 1`,
+		`ftserve_requests_total{endpoint="cells",status="429"} 1`,
+		`ftserve_rejected_total{endpoint="cells"} 1`,
+		`ftserve_request_duration_ms_count{endpoint="cells"} 2`,
+		"ftserve_jobs_queued 1",
+		"ftserve_jobs_running 2",
+		"ftserve_inflight_cells 3",
+		`ftserve_cache_requests_total{tier="mem"} 7`,
+		"ftserve_cache_store_errors_total 5",
+		"ftserve_cache_exec_errors_total 1",
+		"ftserve_cohort_arenas_built_total 4",
+		"ftserve_cohort_replayed_cells_total 9",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every non-comment line is "name{labels} value" or "name value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestPromFloat pins the float rendering used in the exposition.
+func TestPromFloat(t *testing.T) {
+	cases := map[float64]string{0: "0", 1.5: "1.5", 0.125: "0.125", 10: "10"}
+	for in, want := range cases {
+		if got := promFloat(in); got != want {
+			t.Errorf("promFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

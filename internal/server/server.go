@@ -13,21 +13,30 @@
 //	POST /v1/cells                         evaluate one cell synchronously
 //	                                       (X-Cache reports the tier)
 //	GET  /v1/platforms                     the built-in platform catalogue
-//	GET  /v1/stats                         cache-tier and trace-cohort counters
+//	GET  /v1/stats                         cache/cohort counters plus server
+//	                                       state and latency summaries
+//	GET  /metrics                          Prometheus-style text exposition
 //	GET  /healthz                          liveness probe (plain text)
 //
 // Every campaign job and every cell evaluation runs through one shared
 // scenario.CellCache, so identical concurrent requests coalesce into a
 // single execution and hot cells are served from memory without touching
 // disk.
+//
+// The POST endpoints sit behind admission control: campaign submissions
+// past the bounded job queue and cell evaluations past the in-flight
+// limit are rejected with 429 + Retry-After instead of growing unbounded
+// goroutine or queue state. Every routed request is timed into Metrics.
 package server
 
 import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -49,14 +58,36 @@ type Config struct {
 	// MaxRunning bounds concurrently executing campaign jobs; submissions
 	// past it are accepted and queue (state "queued"). Default 4.
 	MaxRunning int
+	// MaxQueued bounds campaign jobs waiting for a run slot; submissions
+	// past it are rejected with 429 + Retry-After. Default 16.
+	MaxQueued int
+	// MaxInflightCells bounds concurrently served POST /v1/cells requests
+	// (coalesced waiters hold a slot too); excess requests wait up to
+	// AdmissionWait for a slot and are then rejected with 429 +
+	// Retry-After. Default 4×NumCPU.
+	MaxInflightCells int
+	// AdmissionWait is how long a cell request may wait for an in-flight
+	// slot before being rejected. Negative disables waiting (immediate
+	// 429 when saturated). Default 100ms.
+	AdmissionWait time.Duration
 }
 
-// DefaultMaxJobs and DefaultMaxRunning apply when Config leaves the
-// bounds unset.
+// Defaults apply when Config leaves the corresponding bound unset.
 const (
-	DefaultMaxJobs    = 64
-	DefaultMaxRunning = 4
+	DefaultMaxJobs       = 64
+	DefaultMaxRunning    = 4
+	DefaultMaxQueued     = 16
+	DefaultAdmissionWait = 100 * time.Millisecond
 )
+
+// DefaultMaxInflightCells returns the default in-flight cell bound for
+// this machine.
+func DefaultMaxInflightCells() int { return 4 * runtime.NumCPU() }
+
+// retryAfterSeconds is the Retry-After hint on 429 responses: long enough
+// for a queued job or a slow cell to drain, short enough that open-loop
+// clients re-probe quickly.
+const retryAfterSeconds = 1
 
 // maxBodyBytes bounds request bodies on the POST endpoints; the paper's
 // full campaign file is ~7 KB.
@@ -65,15 +96,21 @@ const maxBodyBytes = 8 << 20
 // Server implements the campaign HTTP API. Create one with New and mount
 // Handler on an http.Server.
 type Server struct {
-	cache   *scenario.CellCache
-	workers int
-	maxJobs int
-	runSem  chan struct{} // bounds concurrently executing jobs
+	cache         *scenario.CellCache
+	workers       int
+	maxJobs       int
+	maxQueued     int
+	admissionWait time.Duration
+	runSem        chan struct{} // bounds concurrently executing jobs
+	cellSem       chan struct{} // bounds in-flight synchronous cell requests
+	metrics       *Metrics
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	order   []string // job ids in creation order, for eviction
-	cohorts CohortStats
+	mu          sync.Mutex
+	jobs        map[string]*job
+	order       []string // job ids in creation order, for eviction
+	queuedJobs  int      // jobs waiting for a run slot
+	runningJobs int      // jobs holding a run slot
+	cohorts     CohortStats
 }
 
 // CohortStats counts trace-cohort work across all finished campaign jobs:
@@ -99,12 +136,28 @@ func New(cfg Config) *Server {
 	if maxRunning <= 0 {
 		maxRunning = DefaultMaxRunning
 	}
+	maxQueued := cfg.MaxQueued
+	if maxQueued <= 0 {
+		maxQueued = DefaultMaxQueued
+	}
+	maxInflight := cfg.MaxInflightCells
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflightCells()
+	}
+	wait := cfg.AdmissionWait
+	if wait == 0 {
+		wait = DefaultAdmissionWait
+	}
 	return &Server{
-		cache:   cache,
-		workers: cfg.Workers,
-		maxJobs: maxJobs,
-		runSem:  make(chan struct{}, maxRunning),
-		jobs:    map[string]*job{},
+		cache:         cache,
+		workers:       cfg.Workers,
+		maxJobs:       maxJobs,
+		maxQueued:     maxQueued,
+		admissionWait: wait,
+		runSem:        make(chan struct{}, maxRunning),
+		cellSem:       make(chan struct{}, maxInflight),
+		metrics:       NewMetrics(),
+		jobs:          map[string]*job{},
 	}
 }
 
@@ -112,20 +165,87 @@ func New(cfg Config) *Server {
 // counters; operators read them via /v1/stats).
 func (s *Server) Cache() *scenario.CellCache { return s.cache }
 
-// Handler returns the routed http.Handler for the API.
+// Metrics returns the server's request-metrics aggregator.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the routed http.Handler for the API. Every route is
+// wrapped in request instrumentation (see instrument).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
-	mux.HandleFunc("POST /v1/cells", s.handleCell)
-	mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/campaigns", s.instrument("campaigns", s.handleCreateCampaign))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.instrument("artifacts", s.handleArtifact))
+	mux.HandleFunc("POST /v1/cells", s.instrument("cells", s.handleCell))
+	mux.HandleFunc("GET /v1/platforms", s.instrument("platforms", s.handlePlatforms))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// statusRecorder captures the response status (and lets handlers annotate
+// the sample with their admission queue wait) for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+	queueWaitMS float64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.status = code
+		r.wroteHeader = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wroteHeader {
+		r.status = http.StatusOK
+		r.wroteHeader = true
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// setQueueWait annotates the in-flight request's sample with the time it
+// spent waiting for an admission slot.
+func setQueueWait(w http.ResponseWriter, d time.Duration) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.queueWaitMS = durationMS(d)
+	}
+}
+
+func durationMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// instrument wraps a handler so every request lands in Metrics as one
+// flat RequestSample: endpoint, method, status, cache tier (from the
+// X-Cache header the handler set), queue wait, and duration.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.Observe(RequestSample{
+			Endpoint:    endpoint,
+			Method:      r.Method,
+			Status:      rec.status,
+			Tier:        rec.Header().Get("X-Cache"),
+			QueueWaitMS: rec.queueWaitMS,
+			DurationMS:  durationMS(time.Since(start)),
+		})
+	}
+}
+
+// reject emits a 429 with the Retry-After hint.
+func reject(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+	writeError(w, http.StatusTooManyRequests, format, args...)
 }
 
 // writeJSON emits a JSON response body.
@@ -157,10 +277,32 @@ func (s *Server) newJobID() string {
 }
 
 // handleCreateCampaign validates the posted campaign and starts it as an
-// asynchronous job.
+// asynchronous job. Submissions past the bounded job queue are shed with
+// 429 before the body is even parsed.
 func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	// Admission first: reserve a queue slot before doing any parse work,
+	// so a saturated server sheds load as cheaply as possible.
+	s.mu.Lock()
+	if s.queuedJobs >= s.maxQueued {
+		queued := s.queuedJobs
+		s.mu.Unlock()
+		reject(w, "job queue full (%d queued, %d running); retry later", queued, s.runningSnapshot())
+		return
+	}
+	s.queuedJobs++
+	s.mu.Unlock()
+
 	campaign, err := scenario.Load(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		s.mu.Lock()
+		s.queuedJobs--
+		s.mu.Unlock()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"campaign body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -179,6 +321,14 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		"id":         j.id,
 		"status_url": "/v1/jobs/" + j.id,
 	})
+}
+
+// runningSnapshot reads the running-jobs gauge without assuming the
+// caller holds s.mu.
+func (s *Server) runningSnapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runningJobs
 }
 
 // evictLocked drops the oldest finished jobs past maxJobs. Running jobs
@@ -202,11 +352,17 @@ func (s *Server) evictLocked() {
 }
 
 // runJob executes one campaign job, streaming progress into the job
-// record. Jobs past the MaxRunning bound wait in state "queued".
+// record. Jobs past the MaxRunning bound wait in state "queued"; the
+// queue wait is recorded on the job and in the server gauges.
 func (s *Server) runJob(j *job, campaign *scenario.Campaign) {
+	waitStart := time.Now()
 	s.runSem <- struct{}{}
 	defer func() { <-s.runSem }()
-	j.setRunning()
+	s.mu.Lock()
+	s.queuedJobs--
+	s.runningJobs++
+	s.mu.Unlock()
+	j.setRunning(time.Since(waitStart))
 	runner := scenario.Runner{
 		Cache:      s.cache,
 		Workers:    s.workers,
@@ -216,13 +372,17 @@ func (s *Server) runJob(j *job, campaign *scenario.Campaign) {
 		OnArtifact: j.onArtifact,
 	}
 	report, err := runner.Run(campaign)
+	j.finish(report, err)
+	// Re-run eviction now that this job is finished: without it, jobs
+	// past MaxJobs would linger until the next submission.
+	s.mu.Lock()
 	if report != nil {
-		s.mu.Lock()
 		s.cohorts.Built += int64(report.Cohorts)
 		s.cohorts.ReplayedCells += int64(report.CohortCells)
-		s.mu.Unlock()
 	}
-	j.finish(report, err)
+	s.runningJobs--
+	s.evictLocked()
+	s.mu.Unlock()
 }
 
 // handleJob reports a job's progress.
@@ -273,11 +433,45 @@ type cellResponse struct {
 }
 
 // handleCell evaluates one cell synchronously through the shared cache.
+// Requests past the in-flight bound wait up to AdmissionWait for a slot,
+// then get 429 + Retry-After.
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	waitStart := time.Now()
+	select {
+	case s.cellSem <- struct{}{}:
+	default:
+		if s.admissionWait <= 0 {
+			reject(w, "cell capacity saturated (%d in flight); retry later", cap(s.cellSem))
+			return
+		}
+		timer := time.NewTimer(s.admissionWait)
+		select {
+		case s.cellSem <- struct{}{}:
+			timer.Stop()
+		case <-timer.C:
+			setQueueWait(w, time.Since(waitStart))
+			reject(w, "cell capacity saturated (%d in flight); retry later", cap(s.cellSem))
+			return
+		case <-r.Context().Done():
+			timer.Stop()
+			setQueueWait(w, time.Since(waitStart))
+			writeError(w, 499, "client closed request")
+			return
+		}
+	}
+	defer func() { <-s.cellSem }()
+	setQueueWait(w, time.Since(waitStart))
+
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	var spec scenario.CellSpec
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"cell body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "parse cell: %v", err)
 		return
 	}
@@ -317,8 +511,39 @@ func (s *Server) handlePlatforms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleStats reports the shared cache's tier counters and the cumulative
-// trace-cohort work of finished jobs.
+// ServerStats is the "server" section of /v1/stats: admission gauges and
+// per-endpoint / per-cache-tier latency summaries.
+type ServerStats struct {
+	// QueuedJobs is the number of campaign jobs waiting for a run slot.
+	QueuedJobs int `json:"queued_jobs"`
+	// RunningJobs is the number of campaign jobs currently executing.
+	RunningJobs int `json:"running_jobs"`
+	// InflightCells is the number of synchronous cell requests currently
+	// holding an admission slot.
+	InflightCells int `json:"inflight_cells"`
+	// Endpoints summarizes request latency per endpoint label.
+	Endpoints []LatencySummary `json:"endpoints"`
+	// Tiers summarizes successful cell-request latency per cache tier.
+	Tiers []LatencySummary `json:"tiers"`
+}
+
+// serverStats snapshots the admission gauges and latency summaries.
+func (s *Server) serverStats() ServerStats {
+	s.mu.Lock()
+	queued, running := s.queuedJobs, s.runningJobs
+	s.mu.Unlock()
+	return ServerStats{
+		QueuedJobs:    queued,
+		RunningJobs:   running,
+		InflightCells: len(s.cellSem),
+		Endpoints:     s.metrics.EndpointSummaries(),
+		Tiers:         s.metrics.TierSummaries(),
+	}
+}
+
+// handleStats reports the shared cache's tier counters, the cumulative
+// trace-cohort work of finished jobs, and the server's admission gauges
+// and latency summaries.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	cohorts := s.cohorts
@@ -326,6 +551,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Cache   scenario.CacheStats `json:"cache"`
 		Cohorts CohortStats         `json:"cohorts"`
+		Server  ServerStats         `json:"server"`
 		Time    time.Time           `json:"time"`
-	}{Cache: s.cache.Stats(), Cohorts: cohorts, Time: time.Now().UTC()})
+	}{Cache: s.cache.Stats(), Cohorts: cohorts, Server: s.serverStats(), Time: time.Now().UTC()})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	queued, running := s.queuedJobs, s.runningJobs
+	cohorts := s.cohorts
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePromText(w, promGauges{
+		QueuedJobs:    queued,
+		RunningJobs:   running,
+		InflightCells: len(s.cellSem),
+		Cache:         s.cache.Stats(),
+		Cohorts:       cohorts,
+	})
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -494,19 +496,271 @@ func TestCellRejectsOversizedSimulation(t *testing.T) {
 }
 
 // TestOversizedBodyRejected checks the body-size bound on the POST
-// endpoints.
+// endpoints surfaces as 413 (not a generic 400), naming the limit.
 func TestOversizedBodyRejected(t *testing.T) {
 	ts, _ := newTestServer(t)
 	big := strings.Repeat(" ", maxBodyBytes+1)
 	for _, path := range []string{"/v1/campaigns", "/v1/cells"} {
-		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(big))
-		if err != nil {
-			t.Fatal(err)
+		var e struct {
+			Error string `json:"error"`
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: oversized body got code %d, want 400", path, resp.StatusCode)
+		code, _ := postJSON(t, ts.URL+path, big, &e)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: oversized body got code %d, want 413", path, code)
 		}
+		if !strings.Contains(e.Error, fmt.Sprint(maxBodyBytes)) {
+			t.Errorf("%s: error %q does not name the byte limit", path, e.Error)
+		}
+	}
+	// An oversized campaign must not leak its reserved queue slot.
+	var stats struct {
+		Server ServerStats `json:"server"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats code %d", code)
+	}
+	if stats.Server.QueuedJobs != 0 {
+		t.Errorf("queued_jobs = %d after rejected submissions, want 0", stats.Server.QueuedJobs)
+	}
+}
+
+// TestCellServedDespiteBrokenCacheDir is the serving-path acceptance
+// check for graceful cache degradation: with the disk tier unwritable, a
+// cold POST /v1/cells still returns 200 with X-Cache: exec, and
+// /v1/stats reports the store error — no 500s.
+func TestCellServedDespiteBrokenCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	var spec scenario.CellSpec
+	if err := json.Unmarshal([]byte(periodsCellBody), &spec); err != nil {
+		t.Fatal(err)
+	}
+	// Block the cell's shard directory with a regular file, which defeats
+	// storeCell even when tests run as root (unlike a read-only chmod).
+	if err := os.WriteFile(filepath.Join(dir, spec.Hash()[:2]), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Cache: scenario.NewCellCache(dir, 64)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var res cellResponse
+	code, hdr := postJSON(t, ts.URL+"/v1/cells", periodsCellBody, &res)
+	if code != http.StatusOK {
+		t.Fatalf("broken cache dir turned a successful execution into code %d", code)
+	}
+	if hdr.Get("X-Cache") != "exec" {
+		t.Errorf("X-Cache = %q, want exec", hdr.Get("X-Cache"))
+	}
+	if res.Result.Periods == nil {
+		t.Error("no result despite 200")
+	}
+	var stats struct {
+		Cache scenario.CacheStats `json:"cache"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats code %d", code)
+	}
+	if stats.Cache.StoreErrors == 0 {
+		t.Errorf("store error not observable in /v1/stats: %+v", stats.Cache)
+	}
+	// The result landed in the memory tier: a repeat is served warm.
+	code, hdr = postJSON(t, ts.URL+"/v1/cells", periodsCellBody, &res)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "mem" {
+		t.Errorf("repeat: code %d X-Cache %q, want 200/mem", code, hdr.Get("X-Cache"))
+	}
+}
+
+// TestCellAdmissionRejects429 checks the in-flight cell gate: with every
+// slot taken, POST /v1/cells gets 429 + Retry-After, and succeeds again
+// once a slot frees. The semaphore is filled directly so the test is
+// deterministic.
+func TestCellAdmissionRejects429(t *testing.T) {
+	srv := New(Config{Cache: scenario.NewCellCache("", 64), MaxInflightCells: 2, AdmissionWait: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		srv.cellSem <- struct{}{}
+	}
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	code, hdr := postJSON(t, ts.URL+"/v1/cells", periodsCellBody, &e)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated gate: code %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if !strings.Contains(e.Error, "retry") {
+		t.Errorf("error %q does not tell the client to retry", e.Error)
+	}
+	var stats struct {
+		Server ServerStats `json:"server"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Server.InflightCells != 2 {
+		t.Errorf("inflight_cells = %d, want 2", stats.Server.InflightCells)
+	}
+	rejected := int64(0)
+	for _, ep := range stats.Server.Endpoints {
+		if ep.Endpoint == "cells" {
+			rejected = ep.Rejected
+		}
+	}
+	if rejected != 1 {
+		t.Errorf("cells endpoint rejected = %d, want 1", rejected)
+	}
+
+	<-srv.cellSem
+	if code, _ := postJSON(t, ts.URL+"/v1/cells", periodsCellBody, nil); code != http.StatusOK {
+		t.Errorf("after a slot freed: code %d, want 200", code)
+	}
+}
+
+// TestCampaignAdmissionRejects429 checks the bounded job queue: with the
+// run slots held and the queue full, a further submission gets 429 +
+// Retry-After; once capacity frees, the queued job completes.
+func TestCampaignAdmissionRejects429(t *testing.T) {
+	srv := New(Config{Cache: scenario.NewCellCache("", 64), MaxRunning: 1, MaxQueued: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.runSem <- struct{}{} // hold the only run slot
+	small := `{"name": "tiny", "scenarios": [{"name": "p", "kind": "periods"}]}`
+
+	var first struct {
+		ID string `json:"id"`
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/campaigns", small, &first); code != http.StatusAccepted {
+		t.Fatalf("first submission: code %d, want 202", code)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	code, hdr := postJSON(t, ts.URL+"/v1/campaigns", small, &e)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("queue full: code %d, want 429 (error %q)", code, e.Error)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var stats struct {
+		Server ServerStats `json:"server"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Server.QueuedJobs != 1 {
+		t.Errorf("queued_jobs = %d, want 1", stats.Server.QueuedJobs)
+	}
+
+	<-srv.runSem // free the slot; the queued job may now run
+	if st := waitDone(t, ts.URL, first.ID); st.State != StateDone {
+		t.Fatalf("queued job ended %q (%s)", st.State, st.Error)
+	}
+}
+
+// TestJobEvictionOnFinish is the regression test for eviction running
+// only on submission: when jobs finish past MaxJobs, the oldest finished
+// one must be evicted without waiting for the next POST.
+func TestJobEvictionOnFinish(t *testing.T) {
+	srv := New(Config{Cache: scenario.NewCellCache("", 256), Workers: 1, MaxJobs: 1, MaxRunning: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Both jobs are submitted while the first is still live, so the
+	// submission-time eviction pass cannot fire. MaxRunning: 1 serializes
+	// them: when the first finishes, the second is still queued (not
+	// evictable) — only the finish-time pass can evict the first, and it
+	// must do so before the second ever reaches "done".
+	slow := `{"name": "slow", "reps": 200, "scenarios": [{"name": "sn", "kind": "sensitivity",
+		"cases": [{"name": "w", "dist": "weibull", "shape": 0.7}]}]}`
+	fast := `{"name": "fast", "scenarios": [{"name": "p", "kind": "periods"}]}`
+	var first, second struct {
+		ID string `json:"id"`
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/campaigns", slow, &first); code != http.StatusAccepted {
+		t.Fatalf("first: code %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/campaigns", fast, &second); code != http.StatusAccepted {
+		t.Fatalf("second: code %d", code)
+	}
+	if st := waitDone(t, ts.URL, second.ID); st.State != StateDone {
+		t.Fatalf("second job ended %q (%s)", st.State, st.Error)
+	}
+	// No further submissions happened, yet the first (finished) job is
+	// gone: eviction ran when it finished, not on the next POST.
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+first.ID, nil); code != http.StatusNotFound {
+		t.Errorf("oldest finished job not evicted on finish: code %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+second.ID, nil); code != http.StatusOK {
+		t.Errorf("newest job evicted: code %d", code)
+	}
+}
+
+// TestMetricsEndpoint drives a little traffic and checks the Prometheus
+// exposition carries request counters, latency summaries, admission
+// gauges, and the cache counters.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/cells", periodsCellBody, nil)
+	postJSON(t, ts.URL+"/v1/cells", periodsCellBody, nil)
+	getJSON(t, ts.URL+"/v1/stats", nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`ftserve_requests_total{endpoint="cells",status="200"} 2`,
+		`ftserve_requests_total{endpoint="stats",status="200"} 1`,
+		`ftserve_request_duration_ms{endpoint="cells",quantile="0.99"}`,
+		`ftserve_request_duration_ms_count{endpoint="cells"} 2`,
+		`ftserve_cell_duration_ms{tier="exec",quantile="0.5"}`,
+		`ftserve_cell_duration_ms{tier="mem",quantile="0.5"}`,
+		`ftserve_rejected_total{endpoint="cells"} 0`,
+		`ftserve_cache_requests_total{tier="mem"} 1`,
+		`ftserve_cache_requests_total{tier="exec"} 1`,
+		"ftserve_cache_store_errors_total 0",
+		"ftserve_jobs_queued 0",
+		"ftserve_jobs_running 0",
+		"ftserve_inflight_cells 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	// The same aggregates in JSON: /v1/stats server section.
+	var stats struct {
+		Server ServerStats `json:"server"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats code %d", code)
+	}
+	var cells *LatencySummary
+	for i := range stats.Server.Endpoints {
+		if stats.Server.Endpoints[i].Endpoint == "cells" {
+			cells = &stats.Server.Endpoints[i]
+		}
+	}
+	if cells == nil || cells.Requests != 2 || cells.Errors != 0 {
+		t.Fatalf("cells endpoint summary = %+v", cells)
+	}
+	if cells.P99MS < cells.P50MS || cells.MaxMS < cells.P99MS {
+		t.Errorf("latency summary not monotone: %+v", cells)
+	}
+	if len(stats.Server.Tiers) == 0 {
+		t.Error("no per-tier latency summaries")
 	}
 }
 
