@@ -143,6 +143,29 @@ func SimulateFromTrace(cfg SimConfig, tr *TraceArena) SimAggregate {
 	return sim.SimulateFromTrace(cfg, tr)
 }
 
+// SimPrecision configures adaptive-precision execution: a CI half-width
+// target that turns cfg.Reps into a cap (see sim.Precision).
+type SimPrecision = sim.Precision
+
+// SimAdaptiveAggregate extends SimAggregate with the sequential-stopping
+// estimate, its half-width and the control-variate diagnostics.
+type SimAdaptiveAggregate = sim.AdaptiveAggregate
+
+// SimulateAdaptive runs replicas in doubling batches until the waste CI
+// half-width meets the precision target (or cfg.Reps is exhausted, where
+// the result is bit-identical to Simulate's aggregate). Under exponential
+// failures the analytic model prediction serves as a control variate.
+func SimulateAdaptive(cfg SimConfig, prec SimPrecision) SimAdaptiveAggregate {
+	return sim.SimulateAdaptive(cfg, prec)
+}
+
+// SimulateAdaptiveFromTrace is SimulateAdaptive over a prebuilt arena
+// covering at least cfg.Reps repetitions — identical results to the live
+// path, including the control-variate statistics.
+func SimulateAdaptiveFromTrace(cfg SimConfig, tr *TraceArena, prec SimPrecision) SimAdaptiveAggregate {
+	return sim.SimulateAdaptiveFromTrace(cfg, tr, prec)
+}
+
 // Fig7Params returns the paper's Figure 7 scenario: a one-week epoch with
 // C = R = 10 min, D = 1 min, rho = 0.8, phi = 1.03, ReconsABFT = 2 s.
 func Fig7Params(mtbf, alpha float64) Params {

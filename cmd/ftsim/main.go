@@ -7,11 +7,17 @@
 // log-normal sigma); every family is normalized so the mean inter-arrival
 // time equals -mtbf.
 //
+// Adaptive precision: -ci-rel (or -ci-abs) switches to sequential stopping —
+// -reps becomes a cap and replicas run in doubling batches (first batch
+// -ci-batch) until the waste CI half-width meets the target, with the
+// analytic model prediction as a control variate under exponential failures.
+//
 // Examples:
 //
 //	ftsim -alpha 0.8 -mtbf 3600 -reps 1000 -protocol abft
 //	ftsim -alpha 0.8 -dist weibull -shape 0.7
 //	ftsim -dist lognormal -shape 1.5 -protocol all
+//	ftsim -protocol abft -reps 16384 -ci-rel 0.05
 package main
 
 import (
@@ -58,6 +64,9 @@ func main() {
 	distFlag := flag.String("dist", "exp", "failure distribution family (exp|weibull|lognormal|gamma)")
 	shape := flag.Float64("shape", 1, "shape parameter (weibull/gamma k, lognormal sigma)")
 	weibull := flag.Float64("weibull", 0, "deprecated: Weibull shape k (0 = use -dist/-shape)")
+	ciRel := flag.Float64("ci-rel", 0, "adaptive precision: stop when the waste CI half-width <= ci-rel * |estimate| (0 = fixed reps)")
+	ciAbs := flag.Float64("ci-abs", 0, "adaptive precision: stop when the waste CI half-width <= ci-abs (0 = fixed reps)")
+	ciBatch := flag.Int("ci-batch", 0, "adaptive precision: first batch size (0 = default, doubles per look)")
 	flag.Parse()
 
 	selected, err := parseProtocol(*protoFlag)
@@ -90,20 +99,44 @@ func main() {
 		os.Exit(2)
 	}
 
+	adaptive := *ciRel > 0 || *ciAbs > 0
 	protocols := model.Protocols
 	if selected >= 0 {
 		protocols = []model.Protocol{selected}
 	}
 	fmt.Println(p)
 	fmt.Println("failures:", makeDist(p.Mu))
-	fmt.Printf("%-22s %-18s %-10s %-12s %-10s\n", "protocol", "sim waste (±CI)", "model", "sim faults", "truncated")
+	if adaptive {
+		fmt.Printf("%-22s %-18s %-10s %-12s %-10s %s\n", "protocol", "sim waste (±CI)", "model", "reps", "cv ratio", "stopped")
+	} else {
+		fmt.Printf("%-22s %-18s %-10s %-12s %-10s\n", "protocol", "sim waste (±CI)", "model", "sim faults", "truncated")
+	}
 	for _, proto := range protocols {
 		cfg := sim.Config{
 			Params: p, Protocol: proto, Reps: *reps, Epochs: *epochs,
 			Seed: *seed, Workers: *workers, Distribution: makeDist,
 		}
-		agg := sim.Simulate(cfg)
 		pred := model.Evaluate(proto, p, model.Options{})
+		if adaptive {
+			prec := sim.Precision{RelTarget: *ciRel, AbsTarget: *ciAbs, Batch: *ciBatch}
+			if pred.Feasible {
+				epochCount := *epochs
+				if epochCount <= 0 {
+					epochCount = 1
+				}
+				prec.ModelTFinal = float64(epochCount) * pred.TFinal
+			}
+			agg := sim.SimulateAdaptive(cfg, prec)
+			cvNote := "off"
+			if agg.CVActive {
+				cvNote = fmt.Sprintf("%.3f", agg.CVVarianceRatio)
+			}
+			fmt.Printf("%-22s %.4f ±%.4f    %-10.4f %-12s %-10s %v\n",
+				proto, agg.WasteEstimate, agg.WasteHalfWidth, pred.Waste,
+				fmt.Sprintf("%d/%d", agg.Runs, agg.RepsCap), cvNote, agg.Stopped)
+			continue
+		}
+		agg := sim.Simulate(cfg)
 		fmt.Printf("%-22s %.4f ±%.4f    %-10.4f %-12.2f %d/%d\n",
 			proto, agg.Waste.Mean, agg.Waste.CI95, pred.Waste, agg.Faults.Mean, agg.Truncated, agg.Runs)
 	}

@@ -5,12 +5,17 @@ import (
 	"os"
 	"testing"
 
+	"abftckpt/internal/abft"
+	"abftckpt/internal/app"
+	"abftckpt/internal/ckpt"
 	"abftckpt/internal/des"
 	"abftckpt/internal/dist"
+	"abftckpt/internal/matrix"
 	"abftckpt/internal/model"
 	"abftckpt/internal/rng"
 	"abftckpt/internal/scenario"
 	"abftckpt/internal/sim"
+	"abftckpt/internal/vproc"
 )
 
 // Benchmark is one named suite entry.
@@ -96,6 +101,22 @@ func Suite() []Benchmark {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					sim.SimulateFromTrace(cfg, tr)
+				}
+			},
+		},
+		{
+			Name:  "sim/adaptive_stop",
+			Brief: "adaptive-precision replica loop: sequential stopping + control variate, Fig7 point at 5% relative CI",
+			Gated: true,
+			Fn: func(b *testing.B) {
+				cfg := fig7Sim(4096)
+				prec := sim.Precision{
+					RelTarget:   0.05,
+					Batch:       64,
+					ModelTFinal: model.Evaluate(cfg.Protocol, cfg.Params, model.Options{}).TFinal,
+				}
+				for i := 0; i < b.N; i++ {
+					sim.SimulateAdaptive(cfg, prec)
 				}
 			},
 		},
@@ -285,6 +306,47 @@ func Suite() []Benchmark {
 			},
 		},
 		{
+			Name:       "campaign/adaptive",
+			Brief:      "heterogeneous-MTBF waste curve under adaptive precision (5% relative CI, cap 4096)",
+			Gated:      true,
+			UnitsPerOp: 9,
+			UnitName:   "cells",
+			Fn: func(b *testing.B) {
+				c := scenario.BenchAdaptiveCampaign()
+				run := func() {
+					r := &scenario.Runner{Cache: scenario.NewCellCache("", 0), Workers: 1}
+					if _, err := r.Run(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				run()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run()
+				}
+			},
+		},
+		{
+			Name:       "campaign/adaptive_fixed",
+			Brief:      "the same curve at fixed 512 reps/cell, the count the worst cell needs for equal CI width",
+			UnitsPerOp: 9,
+			UnitName:   "cells",
+			Fn: func(b *testing.B) {
+				c := scenario.BenchAdaptiveFixedCampaign()
+				run := func() {
+					r := &scenario.Runner{Cache: scenario.NewCellCache("", 0), Workers: 1}
+					if _, err := r.Run(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				run()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run()
+				}
+			},
+		},
+		{
 			Name:  "campaign/warm",
 			Brief: "bench campaign rerun against a warm cell cache (no executions)",
 			Gated: true,
@@ -322,6 +384,61 @@ func Suite() []Benchmark {
 					b.StopTimer()
 					os.RemoveAll(dir)
 					b.StartTimer()
+				}
+			},
+		},
+		{
+			Name:  "abft/lu_recover",
+			Brief: "ABFT LU: factor half-way, erase a row, recover from checksums, finish",
+			Fn: func(b *testing.B) {
+				src := rng.New(1)
+				a := matrix.RandDiagDominant(192, src)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f := abft.NewLU(a)
+					for f.StepsDone() < 96 {
+						if err := f.Step(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					f.EraseRow(144)
+					if err := f.RecoverRow(144); err != nil {
+						b.Fatal(err)
+					}
+					if err := f.Factor(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "abft/gemm_recover",
+			Brief: "ABFT GEMM: checksum-encoded multiply, erase a block column, recover",
+			Fn: func(b *testing.B) {
+				src := rng.New(2)
+				a := matrix.RandDense(192, 192, src)
+				enc := abft.EncodeColumns(matrix.RandDense(192, 128, src), 16, 4)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out := abft.Gemm(a, enc)
+					out.EraseBlockColumn(3)
+					if err := out.Recover([]int{3}, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "vproc/composite_runtime",
+			Brief: "live composite runtime: two epochs with checkpoint store and fault injection",
+			Fn: func(b *testing.B) {
+				cfg := app.DefaultConfig()
+				for i := 0; i < b.N; i++ {
+					rt := vproc.NewRuntime(cfg.DataProcs+1, ckpt.NewMemStore(), vproc.NewInjector(0.05, uint64(i)))
+					h := app.New(cfg, rt)
+					if err := h.Run(2); err != nil {
+						b.Fatal(err)
+					}
 				}
 			},
 		},

@@ -149,6 +149,58 @@ func BenchCohortCampaign() *Campaign {
 	return c
 }
 
+// benchAdaptiveCampaignJSON is the adaptive-precision workload: one
+// simulated waste curve across a deliberately heterogeneous MTBF axis
+// (0.5h to 128h). Per-replica waste variance grows by two orders of
+// magnitude along the axis, so a fixed-rep campaign must size every cell
+// for the worst point while adaptive stopping spends replicas only where
+// the 5%-relative CI target needs them. The campaign/adaptive and
+// campaign/adaptive_fixed benchmarks run the adaptive spec and its
+// equal-width fixed twin; their ns/op ratio is the replica-savings win.
+const benchAdaptiveCampaignJSON = `{
+  "name": "bench_adaptive",
+  "seed": 29,
+  "reps": 4096,
+  "scenarios": [
+    {
+      "name": "bench_adaptive_waste",
+      "kind": "heatmap",
+      "output": "sim",
+      "protocol": "abft",
+      "precision": {"rel_ci": 0.05, "batch": 64},
+      "mtbf_minutes": {"values": [30, 60, 120, 240, 480, 960, 1920, 3840, 7680]},
+      "alphas": {"values": [0.5]}
+    }
+  ]
+}`
+
+// BenchAdaptiveCampaign returns the adaptive-precision benchmark campaign.
+// The returned value is freshly parsed on every call, so callers may mutate
+// it.
+func BenchAdaptiveCampaign() *Campaign {
+	c, err := Load(strings.NewReader(benchAdaptiveCampaignJSON))
+	if err != nil {
+		panic(fmt.Sprintf("scenario: bench adaptive campaign: %v", err))
+	}
+	return c
+}
+
+// BenchAdaptiveFixedCampaign returns the fixed-rep twin of
+// BenchAdaptiveCampaign at equal CI width: the same grid without a
+// precision block, at the repetition count the worst cell (mu = 128h,
+// where relative waste spread peaks) needs to reach the same 5%-relative
+// CI95 — 512 replicas, measured by internal/sim's
+// TestAdaptiveReplicaSavings. A fixed-rep campaign has one rep knob, so
+// every cell pays the worst cell's price.
+func BenchAdaptiveFixedCampaign() *Campaign {
+	c := BenchAdaptiveCampaign()
+	c.Reps = 512
+	for _, s := range c.Scenarios {
+		s.Precision = nil
+	}
+	return c
+}
+
 // BenchCacheEncode returns a closure that serializes one representative
 // executed cell through the disk-cache codec (pooled, pre-sized encoder
 // buffers); the bench suite measures it as scenario/cache_encode.

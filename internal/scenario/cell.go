@@ -49,8 +49,53 @@ type CellSpec struct {
 	Reps   int       `json:"reps,omitempty"`
 	Seed   uint64    `json:"seed"`
 	Dist   *DistSpec `json:"dist,omitempty"`
+	// Precision switches a sim cell to adaptive-precision execution: Reps
+	// becomes a hard cap and replicas run in batches until the waste CI
+	// half-width meets the target. It is part of the canonical encoding —
+	// and therefore of the cache key — because an adaptive result (a
+	// stopping-time aggregate over a data-dependent replica count) is NOT
+	// the fixed-rep result: serving one for the other would silently change
+	// golden artifacts. The failure *process* is unchanged, though, so the
+	// cohort key (SimProcessKey) deliberately excludes it and adaptive cells
+	// replay the same arenas as their fixed-rep twins.
+	Precision *CellPrecision `json:"precision,omitempty"`
 	// Probe is the period-comparison input (periods op).
 	Probe *PeriodsProbe `json:"probe,omitempty"`
+}
+
+// CellPrecision is the resolved adaptive-precision block of a simulation
+// cell (see sim.Precision for the execution semantics). At least one of
+// RelCI/AbsCI must be positive.
+type CellPrecision struct {
+	// RelCI stops the cell once the waste CI half-width falls to
+	// RelCI * |estimate|.
+	RelCI float64 `json:"rel_ci,omitempty"`
+	// AbsCI stops the cell once the half-width falls to AbsCI (absolute
+	// waste fraction).
+	AbsCI float64 `json:"abs_ci,omitempty"`
+	// Batch is the first batch size (doubles per look; 0 uses
+	// sim.DefaultAdaptiveBatch).
+	Batch int `json:"batch,omitempty"`
+	// NoControlVariate disables the model-prediction control variate.
+	NoControlVariate bool `json:"no_cv,omitempty"`
+	// KeepReplicas stores the per-replica waste vector in the result so
+	// paired-difference CIs can be assembled across cells sharing traces.
+	KeepReplicas bool `json:"keep_replicas,omitempty"`
+}
+
+// Validate checks the precision block (sim cells only).
+func (p *CellPrecision) Validate() error {
+	if p == nil {
+		return nil
+	}
+	prec := sim.Precision{RelTarget: p.RelCI, AbsTarget: p.AbsCI, Batch: p.Batch}
+	if err := prec.Validate(); err != nil {
+		return err
+	}
+	if p.Batch < 0 || p.Batch > MaxSimReps {
+		return fmt.Errorf("scenario: precision batch %d must be in [0, %d]", p.Batch, MaxSimReps)
+	}
+	return nil
 }
 
 // cellVersion invalidates cached results when the cell semantics change.
@@ -183,6 +228,23 @@ type SimCellResult struct {
 	RecoveryMean JSONFloat `json:"recovery_mean"`
 	Runs         int       `json:"runs"`
 	Truncated    int       `json:"truncated"`
+
+	// Adaptive-precision extensions; all zero (and omitted from JSON) for
+	// fixed-rep cells, so cached fixed-rep results decode unchanged. For
+	// adaptive cells WasteMean/WasteCI95 above hold the control-variate
+	// adjusted estimate and the stopping-look half-width, not the plain
+	// sample statistics (WasteStdDev stays the plain per-replica stddev).
+	RepsCap  int  `json:"reps_cap,omitempty"`
+	Stopped  bool `json:"stopped,omitempty"`
+	Looks    int  `json:"looks,omitempty"`
+	CVActive bool `json:"cv_active,omitempty"`
+	// CVVarianceRatio is residual/plain variance (1 when the control
+	// variate is inactive or did not help).
+	CVVarianceRatio JSONFloat `json:"cv_variance_ratio,omitempty"`
+	// Replicas is the per-replica waste vector, present only when the cell
+	// asked for it (precision.keep_replicas) to support paired-difference
+	// CIs across cells sharing a failure trace.
+	Replicas []JSONFloat `json:"replicas,omitempty"`
 }
 
 func newSimCellResult(a sim.Aggregate) *SimCellResult {
@@ -199,6 +261,24 @@ func newSimCellResult(a sim.Aggregate) *SimCellResult {
 		Runs:         a.Runs,
 		Truncated:    a.Truncated,
 	}
+}
+
+func newAdaptiveSimCellResult(a sim.AdaptiveAggregate) *SimCellResult {
+	r := newSimCellResult(a.Aggregate)
+	r.WasteMean = JSONFloat(a.WasteEstimate)
+	r.WasteCI95 = JSONFloat(a.WasteHalfWidth)
+	r.RepsCap = a.RepsCap
+	r.Stopped = a.Stopped
+	r.Looks = a.Looks
+	r.CVActive = a.CVActive
+	r.CVVarianceRatio = JSONFloat(a.CVVarianceRatio)
+	if a.Replicas != nil {
+		r.Replicas = make([]JSONFloat, len(a.Replicas))
+		for i, w := range a.Replicas {
+			r.Replicas[i] = JSONFloat(w)
+		}
+	}
+	return r
 }
 
 // PeriodsCellResult is the output of an OpPeriods cell: the three period
@@ -249,6 +329,9 @@ func (d *DistSpec) constructor() (func(mtbf float64) dist.Distribution, error) {
 func (c CellSpec) Validate() error {
 	switch c.Op {
 	case OpModel:
+		if c.Precision != nil {
+			return fmt.Errorf("scenario: precision applies to sim cells only")
+		}
 		if c.Params == nil {
 			return fmt.Errorf("scenario: model cell needs params")
 		}
@@ -257,6 +340,9 @@ func (c CellSpec) Validate() error {
 		}
 		return c.Params.Validate()
 	case OpScaling:
+		if c.Precision != nil {
+			return fmt.Errorf("scenario: precision applies to sim cells only")
+		}
 		if c.Scaling == nil {
 			return fmt.Errorf("scenario: scaling cell needs a scaling study")
 		}
@@ -293,8 +379,14 @@ func (c CellSpec) Validate() error {
 		if _, err := c.Dist.constructor(); err != nil {
 			return err
 		}
+		if err := c.Precision.Validate(); err != nil {
+			return err
+		}
 		return c.Params.Validate()
 	case OpPeriods:
+		if c.Precision != nil {
+			return fmt.Errorf("scenario: precision applies to sim cells only")
+		}
 		if c.Probe == nil {
 			return fmt.Errorf("scenario: periods cell needs a probe")
 		}
@@ -357,6 +449,32 @@ func (c CellSpec) ExecuteOpts(o ExecOptions) (CellResult, error) {
 			Workers:      workers,
 			Distribution: ctor,
 			Safeguard:    c.Options.Safeguard,
+		}
+		if p := c.Precision; p != nil {
+			prec := sim.Precision{
+				RelTarget:             p.RelCI,
+				AbsTarget:             p.AbsCI,
+				Batch:                 p.Batch,
+				DisableControlVariate: p.NoControlVariate,
+				KeepReplicas:          p.KeepReplicas,
+			}
+			// The control variate needs the model-predicted makespan; an
+			// infeasible prediction leaves it at 0, which disables the
+			// variate without touching the stopping rule.
+			if r := model.Evaluate(proto, *c.Params, c.Options); r.Feasible && !math.IsInf(r.TFinal, 0) {
+				epochs := c.Epochs
+				if epochs <= 0 {
+					epochs = 1
+				}
+				prec.ModelTFinal = float64(epochs) * r.TFinal
+			}
+			var agg sim.AdaptiveAggregate
+			if o.Arena != nil {
+				agg = sim.SimulateAdaptiveFromTrace(cfg, o.Arena, prec)
+			} else {
+				agg = sim.SimulateAdaptive(cfg, prec)
+			}
+			return CellResult{Sim: newAdaptiveSimCellResult(agg)}, nil
 		}
 		var agg sim.Aggregate
 		if o.Arena != nil {

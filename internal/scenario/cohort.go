@@ -12,7 +12,9 @@ import (
 // distribution family and shape, same MTBF, same stream seed, same
 // repetition count, same horizon bound), so one materialized sim.TraceArena
 // can serve them all. The key deliberately excludes everything the failure
-// process does not depend on — protocol, alpha, checkpoint costs, options —
+// process does not depend on — protocol, alpha, checkpoint costs, options,
+// and the adaptive-precision block (Reps is the cap there, and an adaptive
+// cell consumes a prefix of the same arena its fixed-rep twin replays) —
 // which is exactly what lets a heatmap scanning several protocols or period
 // variants over one platform share each point's traces.
 type ProcessKey struct {

@@ -8,6 +8,7 @@ import (
 	"abftckpt/internal/model"
 	"abftckpt/internal/plot"
 	"abftckpt/internal/rng"
+	"abftckpt/internal/stats"
 	"abftckpt/internal/sweep"
 )
 
@@ -54,6 +55,7 @@ func (s *Spec) setFields() []string {
 	set(s.Seed != nil, "seed")
 	set(s.Reps != 0, "reps")
 	set(s.ShareTraces, "share_traces")
+	set(s.Precision != nil, "precision")
 	return out
 }
 
@@ -61,12 +63,12 @@ func (s *Spec) setFields() []string {
 // fields — name, kind, title, notes, options — always apply; seed and reps
 // only on the simulation-backed kinds).
 var kindFields = map[string][]string{
-	KindHeatmap:     {"protocol", "platform", "platform_overrides", "output", "mtbf_minutes", "alphas", "distribution", "render", "seed", "reps", "share_traces"},
+	KindHeatmap:     {"protocol", "platform", "platform_overrides", "output", "mtbf_minutes", "alphas", "distribution", "render", "seed", "reps", "share_traces", "precision"},
 	KindScaling:     {"nodes", "series"},
 	KindPoints:      {"at_nodes", "rows"},
 	KindPeriods:     {"ckpt_costs", "mtbfs", "downtime"},
 	KindAblation:    {"variant", "platform", "protocol", "nodes"},
-	KindSensitivity: {"platform", "platform_overrides", "mtbf", "alpha", "label", "cases", "seed", "reps", "share_traces"},
+	KindSensitivity: {"platform", "platform_overrides", "mtbf", "alpha", "label", "cases", "seed", "reps", "share_traces", "precision"},
 }
 
 // checkFields rejects fields that exist in the schema but do not apply to
@@ -204,6 +206,8 @@ func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
 			return nil, fmt.Errorf("field %q only applies to output sim or diff", "reps")
 		case s.ShareTraces:
 			return nil, fmt.Errorf("field %q only applies to output sim or diff", "share_traces")
+		case s.Precision != nil:
+			return nil, fmt.Errorf("field %q only applies to output sim or diff", "precision")
 		}
 	}
 	if s.Protocol == "" {
@@ -212,6 +216,29 @@ func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
 	proto, err := ParseProtocol(s.Protocol)
 	if err != nil {
 		return nil, err
+	}
+	baseline := ""
+	var baseProto model.Protocol
+	if p := s.Precision; p != nil {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if p.Baseline != "" {
+			if output != OutputSim {
+				return nil, fmt.Errorf("precision baseline requires output %q", OutputSim)
+			}
+			if !s.ShareTraces {
+				return nil, fmt.Errorf("precision baseline requires share_traces: paired differences need identical failure realizations")
+			}
+			bp, err := ParseProtocol(p.Baseline)
+			if err != nil {
+				return nil, err
+			}
+			if p.Baseline == s.Protocol {
+				return nil, fmt.Errorf("precision baseline %q must differ from the protocol under study", p.Baseline)
+			}
+			baseline, baseProto = p.Baseline, bp
+		}
 	}
 	platformName := s.Platform
 	if platformName == "" {
@@ -248,11 +275,14 @@ func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
 		p.Mu = mtbfMinutes[col] * model.Minute
 		return &p
 	}
+	// The baseline grid keeps per-replica waste vectors so the assembler can
+	// compute paired-difference CIs; KeepReplicas is forced on both grids.
+	keepReplicas := baseline != ""
 	var cells []CellSpec
-	grid := func(op string) {
+	grid := func(op, protocol string, protoNum model.Protocol) {
 		for row := range alphas {
 			for col := range mtbfMinutes {
-				cell := CellSpec{Op: op, Protocol: s.Protocol, Params: paramsAt(row, col), Options: opts}
+				cell := CellSpec{Op: op, Protocol: protocol, Params: paramsAt(row, col), Options: opts}
 				if op == OpSim {
 					cell.Epochs = 1
 					cell.Reps = reps
@@ -262,19 +292,25 @@ func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
 					if s.ShareTraces {
 						cell.Seed = rng.At(seed, uint64(row), uint64(col))
 					} else {
-						cell.Seed = rng.At(seed, uint64(proto), uint64(row), uint64(col))
+						cell.Seed = rng.At(seed, uint64(protoNum), uint64(row), uint64(col))
 					}
 					cell.Dist = dist
+					if s.Precision != nil {
+						cell.Precision = s.Precision.cell(keepReplicas)
+					}
 				}
 				cells = append(cells, cell)
 			}
 		}
 	}
 	if output == OutputModel || output == OutputDiff {
-		grid(OpModel)
+		grid(OpModel, s.Protocol, proto)
 	}
 	if output == OutputSim || output == OutputDiff {
-		grid(OpSim)
+		grid(OpSim, s.Protocol, proto)
+	}
+	if baseline != "" {
+		grid(OpSim, baseline, baseProto)
 	}
 
 	title := s.Title
@@ -311,7 +347,7 @@ func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
 				z.Set(row, col, diff)
 			}
 		}
-		return []Artifact{{
+		arts := []Artifact{{
 			Name: s.Name,
 			Heatmap: &plot.Heatmap{
 				Title:  title,
@@ -323,9 +359,65 @@ func (s *Spec) expandHeatmap(c *Campaign) (*expansion, error) {
 			},
 			RenderLo: lo,
 			RenderHi: hi,
-		}}, nil
+		}}
+		if s.Precision == nil {
+			return arts, nil
+		}
+		// CI columns are opt-in: they appear only on the _precision table a
+		// precision block requests, so existing artifacts stay byte-stable.
+		simOff := 0
+		if output == OutputDiff {
+			simOff = rows * cols
+		}
+		columns := []string{"mtbf_min", "alpha", "waste", "ci95", "runs", "reps_cap", "stopped", "cv_ratio"}
+		if baseline != "" {
+			columns = append(columns, baseline+" waste", "diff", "diff_ci95")
+		}
+		t := &plot.Table{Title: "Adaptive precision: " + title, Columns: columns}
+		for i := 0; i < rows*cols; i++ {
+			row, col := i/cols, i%cols
+			res := results[simOff+i].Sim
+			cells := []string{
+				fmt.Sprintf("%g", mtbfMinutes[col]),
+				fmt.Sprintf("%g", alphas[row]),
+				fmt.Sprintf("%.4f", float64(res.WasteMean)),
+				fmt.Sprintf("%.4f", float64(res.WasteCI95)),
+				fmt.Sprintf("%d", res.Runs),
+				fmt.Sprintf("%d", res.RepsCap),
+				fmt.Sprintf("%v", res.Stopped),
+				fmt.Sprintf("%.3f", float64(res.CVVarianceRatio)),
+			}
+			if baseline != "" {
+				base := results[simOff+rows*cols+i].Sim
+				iv, err := stats.PairedDifference(jsonFloats(res.Replicas), jsonFloats(base.Replicas), 0.05)
+				if err != nil {
+					return nil, fmt.Errorf("paired difference at cell %d: %w", i, err)
+				}
+				cells = append(cells,
+					fmt.Sprintf("%.4f", float64(base.WasteMean)),
+					fmt.Sprintf("%.4f", iv.Mean),
+					fmt.Sprintf("%.4f", iv.Half))
+			}
+			t.AddRow(cells...)
+		}
+		arts = append(arts, Artifact{Name: s.Name + "_precision", Table: t})
+		return arts, nil
 	}
-	return &expansion{spec: s, artifacts: []string{s.Name}, cells: cells, assemble: assemble}, nil
+	artifacts := []string{s.Name}
+	if s.Precision != nil {
+		artifacts = append(artifacts, s.Name+"_precision")
+	}
+	return &expansion{spec: s, artifacts: artifacts, cells: cells, assemble: assemble}, nil
+}
+
+// jsonFloats converts a stored per-replica vector back to raw floats for
+// the paired-difference estimator.
+func jsonFloats(v []JSONFloat) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
 }
 
 // resolveSeries turns a SeriesSpec into its study, protocol and name.
@@ -638,6 +730,18 @@ func (s *Spec) expandSensitivity(c *Campaign) (*expansion, error) {
 	reps := s.repsOr(c)
 	seed := s.seed(c)
 	opts := s.Options.model()
+	if ps := s.Precision; ps != nil {
+		if err := ps.Validate(); err != nil {
+			return nil, err
+		}
+		if ps.Baseline != "" {
+			return nil, fmt.Errorf("precision baseline only applies to heatmap specs; sensitivity pairs all protocols automatically under share_traces")
+		}
+	}
+	// Under share_traces every protocol of a case sees the same failure
+	// realizations, so the assembler can report paired protocol-difference
+	// CIs; keeping the per-replica vectors enables that.
+	keepReplicas := s.Precision != nil && s.ShareTraces
 
 	var cells []CellSpec
 	for i, cs := range s.Cases {
@@ -659,10 +763,14 @@ func (s *Spec) expandSensitivity(c *Campaign) (*expansion, error) {
 				cellSeed = rng.At(seed, cs.SeedPath...)
 			}
 			params := p
-			cells = append(cells, CellSpec{
+			cell := CellSpec{
 				Op: OpSim, Protocol: ProtocolName(proto), Params: &params, Options: opts,
 				Epochs: 1, Reps: reps, Seed: cellSeed, Dist: distOrExp(&d),
-			})
+			}
+			if s.Precision != nil {
+				cell.Precision = s.Precision.cell(keepReplicas)
+			}
+			cells = append(cells, cell)
 		}
 	}
 	label := s.Label
@@ -688,9 +796,66 @@ func (s *Spec) expandSensitivity(c *Campaign) (*expansion, error) {
 			}
 			t.AddRow(row...)
 		}
-		return []Artifact{{Name: s.Name, Table: t}}, nil
+		arts := []Artifact{{Name: s.Name, Table: t}}
+		if s.Precision == nil {
+			return arts, nil
+		}
+		pt := &plot.Table{
+			Title:   "Adaptive precision: " + title,
+			Columns: []string{label, "protocol", "waste", "ci95", "runs", "reps_cap", "stopped", "cv_ratio"},
+		}
+		for i, cs := range cases {
+			for j, proto := range model.Protocols {
+				res := results[i*len(model.Protocols)+j].Sim
+				pt.AddRow(cs.Name, ProtocolName(proto),
+					fmt.Sprintf("%.4f", float64(res.WasteMean)),
+					fmt.Sprintf("%.4f", float64(res.WasteCI95)),
+					fmt.Sprintf("%d", res.Runs),
+					fmt.Sprintf("%d", res.RepsCap),
+					fmt.Sprintf("%v", res.Stopped),
+					fmt.Sprintf("%.3f", float64(res.CVVarianceRatio)))
+			}
+		}
+		arts = append(arts, Artifact{Name: s.Name + "_precision", Table: pt})
+		if !keepReplicas {
+			return arts, nil
+		}
+		// Protocols of a case share failure traces, so replica r of protocol
+		// A and replica r of protocol B saw the same arrivals: their waste
+		// difference cancels the trace noise, and the paired CI is far
+		// narrower than the two marginal CIs suggest.
+		dt := &plot.Table{
+			Title:   "Paired protocol differences (shared traces): " + title,
+			Columns: []string{label, "pair", "diff", "diff_ci95", "pairs"},
+		}
+		for i, cs := range cases {
+			for ai := range model.Protocols {
+				for bi := ai + 1; bi < len(model.Protocols); bi++ {
+					a := results[i*len(model.Protocols)+ai].Sim
+					b := results[i*len(model.Protocols)+bi].Sim
+					iv, err := stats.PairedDifference(jsonFloats(a.Replicas), jsonFloats(b.Replicas), 0.05)
+					if err != nil {
+						return nil, fmt.Errorf("paired difference for case %q: %w", cs.Name, err)
+					}
+					dt.AddRow(cs.Name,
+						fmt.Sprintf("%s-%s", ProtocolName(model.Protocols[ai]), ProtocolName(model.Protocols[bi])),
+						fmt.Sprintf("%.4f", iv.Mean),
+						fmt.Sprintf("%.4f", iv.Half),
+						fmt.Sprintf("%d", iv.N))
+				}
+			}
+		}
+		arts = append(arts, Artifact{Name: s.Name + "_pairs", Table: dt})
+		return arts, nil
 	}
-	return &expansion{spec: s, artifacts: []string{s.Name}, cells: cells, assemble: assemble}, nil
+	artifacts := []string{s.Name}
+	if s.Precision != nil {
+		artifacts = append(artifacts, s.Name+"_precision")
+		if keepReplicas {
+			artifacts = append(artifacts, s.Name+"_pairs")
+		}
+	}
+	return &expansion{spec: s, artifacts: artifacts, cells: cells, assemble: assemble}, nil
 }
 
 // fmtDur renders a duration in seconds with the largest fitting unit, as

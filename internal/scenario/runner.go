@@ -56,6 +56,12 @@ type Report struct {
 	// arena was built); CohortCells counts the cells executed by replaying
 	// one of those arenas.
 	Cohorts, CohortCells int
+	// AdaptiveCells counts executed cells that ran under an adaptive-
+	// precision block; AdaptiveReplicasUsed and AdaptiveReplicasCap sum
+	// their replica counts and caps, so Cap-Used is the campaign's replica
+	// savings from sequential stopping.
+	AdaptiveCells                             int
+	AdaptiveReplicasUsed, AdaptiveReplicasCap int64
 	// Artifacts holds the finished outputs in campaign order.
 	Artifacts []Artifact
 }
@@ -345,6 +351,11 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 							report.Executed++
 							if arena != nil {
 								report.CohortCells++
+							}
+							if st.spec.Precision != nil && res.Sim != nil {
+								report.AdaptiveCells++
+								report.AdaptiveReplicasUsed += int64(res.Sim.Runs)
+								report.AdaptiveReplicasCap += int64(res.Sim.RepsCap)
 							}
 						}
 						completed++

@@ -233,6 +233,11 @@ type Spec struct {
 	// "trace cohorts"). Simulation-backed kinds only; off by default, which
 	// keeps historical seeds (and golden artifacts) unchanged.
 	ShareTraces bool `json:"share_traces,omitempty"`
+	// Precision switches the spec's simulation cells to adaptive-precision
+	// execution: Reps becomes a per-cell cap and each cell runs replicas in
+	// doubling batches until its waste CI half-width meets the target.
+	// Simulation-backed heatmap and sensitivity kinds only.
+	Precision *PrecisionSpec `json:"precision,omitempty"`
 
 	// Protocol is the protocol under study (heatmap and ablation kinds).
 	Protocol string `json:"protocol,omitempty"`
@@ -308,6 +313,48 @@ func (o OptionsSpec) Validate() error {
 		return fmt.Errorf("scenario: fixed periods must be non-negative")
 	}
 	return nil
+}
+
+// PrecisionSpec is the JSON form of a spec-level adaptive-precision block.
+// It resolves to a CellPrecision on every simulation cell of the spec, and
+// optionally names a baseline protocol for paired-difference reporting.
+type PrecisionSpec struct {
+	// RelCI stops a cell once its waste CI half-width falls to
+	// RelCI * |estimate|.
+	RelCI float64 `json:"rel_ci,omitempty"`
+	// AbsCI stops a cell once the half-width falls to AbsCI (absolute
+	// waste fraction). At least one of RelCI/AbsCI must be positive.
+	AbsCI float64 `json:"abs_ci,omitempty"`
+	// Batch is the first batch size (doubles per look; 0 uses the
+	// simulator default).
+	Batch int `json:"batch,omitempty"`
+	// NoControlVariate disables the model-prediction control variate.
+	NoControlVariate bool `json:"no_cv,omitempty"`
+	// Baseline names a second protocol simulated on the same grid with the
+	// same seeds, reported as paired waste differences with CIs in the
+	// <name>_precision table. Heatmap kind with output "sim" only; requires
+	// share_traces (paired differences need identical failure traces).
+	Baseline string `json:"baseline,omitempty"`
+}
+
+// Validate checks the block in isolation; kind-specific rules (Baseline,
+// share_traces) are enforced during expansion.
+func (p *PrecisionSpec) Validate() error {
+	if p == nil {
+		return nil
+	}
+	return (&CellPrecision{RelCI: p.RelCI, AbsCI: p.AbsCI, Batch: p.Batch}).Validate()
+}
+
+// cell resolves the block to a per-cell precision setting.
+func (p *PrecisionSpec) cell(keepReplicas bool) *CellPrecision {
+	return &CellPrecision{
+		RelCI:            p.RelCI,
+		AbsCI:            p.AbsCI,
+		Batch:            p.Batch,
+		NoControlVariate: p.NoControlVariate,
+		KeepReplicas:     keepReplicas,
+	}
 }
 
 // RenderSpec bounds the color scale of ASCII heatmap renderings.

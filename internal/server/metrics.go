@@ -223,6 +223,7 @@ type promGauges struct {
 	InflightCells int
 	Cache         scenario.CacheStats
 	Cohorts       CohortStats
+	Adaptive      AdaptiveStats
 }
 
 // WritePromText writes the Prometheus text exposition format: cumulative
@@ -316,6 +317,16 @@ func (m *Metrics) WritePromText(w io.Writer, g promGauges) {
 	fmt.Fprintln(w, "# HELP ftserve_cohort_replayed_cells_total Simulation cells executed by replaying a shared arena.")
 	fmt.Fprintln(w, "# TYPE ftserve_cohort_replayed_cells_total counter")
 	fmt.Fprintf(w, "ftserve_cohort_replayed_cells_total %d\n", g.Cohorts.ReplayedCells)
+
+	fmt.Fprintln(w, "# HELP ftserve_adaptive_cells_total Executed cells that ran under an adaptive-precision block.")
+	fmt.Fprintln(w, "# TYPE ftserve_adaptive_cells_total counter")
+	fmt.Fprintf(w, "ftserve_adaptive_cells_total %d\n", g.Adaptive.Cells)
+	fmt.Fprintln(w, "# HELP ftserve_adaptive_replicas_used_total Replicas actually spent by adaptive-precision cells.")
+	fmt.Fprintln(w, "# TYPE ftserve_adaptive_replicas_used_total counter")
+	fmt.Fprintf(w, "ftserve_adaptive_replicas_used_total %d\n", g.Adaptive.ReplicasUsed)
+	fmt.Fprintln(w, "# HELP ftserve_adaptive_replicas_cap_total Replicas a fixed-rep execution at the cap would have spent.")
+	fmt.Fprintln(w, "# TYPE ftserve_adaptive_replicas_cap_total counter")
+	fmt.Fprintf(w, "ftserve_adaptive_replicas_cap_total %d\n", g.Adaptive.ReplicasCap)
 }
 
 // promFloat renders a float without exponent notation surprises; trailing

@@ -111,6 +111,7 @@ type Server struct {
 	queuedJobs  int      // jobs waiting for a run slot
 	runningJobs int      // jobs holding a run slot
 	cohorts     CohortStats
+	adaptive    AdaptiveStats
 }
 
 // CohortStats counts trace-cohort work across all finished campaign jobs:
@@ -120,6 +121,18 @@ type Server struct {
 type CohortStats struct {
 	Built         int64 `json:"built"`
 	ReplayedCells int64 `json:"replayed_cells"`
+}
+
+// AdaptiveStats counts adaptive-precision work across all finished campaign
+// jobs: Cells is the number of executed cells that ran under a precision
+// block, ReplicasUsed the replicas those cells actually spent, ReplicasCap
+// the replicas a fixed-rep execution at the cap would have spent. Cap minus
+// used is the cumulative replica savings from sequential stopping. The
+// counters are cumulative and monotone, like CacheStats.
+type AdaptiveStats struct {
+	Cells        int64 `json:"cells"`
+	ReplicasUsed int64 `json:"replicas_used"`
+	ReplicasCap  int64 `json:"replicas_cap"`
 }
 
 // New returns a Server over the given configuration.
@@ -379,6 +392,9 @@ func (s *Server) runJob(j *job, campaign *scenario.Campaign) {
 	if report != nil {
 		s.cohorts.Built += int64(report.Cohorts)
 		s.cohorts.ReplayedCells += int64(report.CohortCells)
+		s.adaptive.Cells += int64(report.AdaptiveCells)
+		s.adaptive.ReplicasUsed += report.AdaptiveReplicasUsed
+		s.adaptive.ReplicasCap += report.AdaptiveReplicasCap
 	}
 	s.runningJobs--
 	s.evictLocked()
@@ -547,13 +563,15 @@ func (s *Server) serverStats() ServerStats {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	cohorts := s.cohorts
+	adaptive := s.adaptive
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, struct {
-		Cache   scenario.CacheStats `json:"cache"`
-		Cohorts CohortStats         `json:"cohorts"`
-		Server  ServerStats         `json:"server"`
-		Time    time.Time           `json:"time"`
-	}{Cache: s.cache.Stats(), Cohorts: cohorts, Server: s.serverStats(), Time: time.Now().UTC()})
+		Cache    scenario.CacheStats `json:"cache"`
+		Cohorts  CohortStats         `json:"cohorts"`
+		Adaptive AdaptiveStats       `json:"adaptive"`
+		Server   ServerStats         `json:"server"`
+		Time     time.Time           `json:"time"`
+	}{Cache: s.cache.Stats(), Cohorts: cohorts, Adaptive: adaptive, Server: s.serverStats(), Time: time.Now().UTC()})
 }
 
 // handleMetrics serves the Prometheus text exposition.
@@ -561,6 +579,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	queued, running := s.queuedJobs, s.runningJobs
 	cohorts := s.cohorts
+	adaptive := s.adaptive
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePromText(w, promGauges{
@@ -569,5 +588,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		InflightCells: len(s.cellSem),
 		Cache:         s.cache.Stats(),
 		Cohorts:       cohorts,
+		Adaptive:      adaptive,
 	})
 }

@@ -476,6 +476,55 @@ func TestStatsCountsCohorts(t *testing.T) {
 	}
 }
 
+// TestStatsCountsAdaptive runs an adaptive-precision campaign and checks
+// the replica-savings counters show up in /v1/stats and /metrics.
+func TestStatsCountsAdaptive(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const adaptiveCampaign = `{
+	  "name": "adaptive",
+	  "seed": 3,
+	  "reps": 64,
+	  "scenarios": [
+	    {"name": "sim_abft", "kind": "heatmap", "output": "sim", "protocol": "abft",
+	     "share_traces": true,
+	     "precision": {"rel_ci": 0.2, "batch": 16},
+	     "mtbf_minutes": {"values": [120]}, "alphas": {"values": [0.5]}}
+	  ]
+	}`
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/campaigns", adaptiveCampaign, &created); code != http.StatusAccepted {
+		t.Fatalf("create: code %d", code)
+	}
+	if st := waitDone(t, ts.URL, created.ID); st.State != StateDone {
+		t.Fatalf("job state %q (error %q)", st.State, st.Error)
+	}
+	var stats struct {
+		Adaptive AdaptiveStats `json:"adaptive"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats code %d", code)
+	}
+	if stats.Adaptive.Cells != 1 || stats.Adaptive.ReplicasCap != 64 {
+		t.Errorf("adaptive stats = %+v, want 1 cell with cap 64", stats.Adaptive)
+	}
+	if stats.Adaptive.ReplicasUsed <= 0 || stats.Adaptive.ReplicasUsed > stats.Adaptive.ReplicasCap {
+		t.Errorf("replicas used %d outside (0, %d]", stats.Adaptive.ReplicasUsed, stats.Adaptive.ReplicasCap)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, metric := range []string{"ftserve_adaptive_cells_total 1", "ftserve_adaptive_replicas_cap_total 64"} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("metrics lack %q", metric)
+		}
+	}
+}
+
 // TestCellRejectsOversizedSimulation checks the network-facing cell
 // endpoint refuses a simulation budget that would pin a worker.
 func TestCellRejectsOversizedSimulation(t *testing.T) {

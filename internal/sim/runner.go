@@ -66,6 +66,15 @@ type replicaRunner struct {
 	capped bool
 	b      Breakdown
 
+	// Control-variate instrumentation for adaptive runs: when cvHorizon is
+	// positive, nextArrival counts every arrival drawn (or replayed) at or
+	// below it, and runMeasured tops the count up past the run's end so
+	// cvCount is exactly N(cvHorizon) — for the exponential law a Poisson
+	// count with known mean cvHorizon/MTBF. Zero (the default, and always
+	// the case under Simulate/SimulateFromTrace) keeps the branch dead.
+	cvHorizon float64
+	cvCount   int
+
 	// Event-calendar cross-validation path: a reusable engine and renewal
 	// source, reset per replica.
 	eng *des.Engine
@@ -132,8 +141,12 @@ func (r *replicaRunner) run(rep int) RunResult {
 			r.fs.next = r.distrib.Sample(&r.src)
 			return simulateOnceDES(r.eng, r.cfg, r.phases, &r.fs)
 		}
-		if r.isExp {
-			// Exponential failures take the fully registerized walker.
+		if r.isExp && r.cvHorizon <= 0 {
+			// Exponential failures take the fully registerized walker. With
+			// the control variate active the scalar walker runs instead —
+			// bit-identical results (both are pinned to SimulateOnce by
+			// TestReplicaRunnerMatchesSimulateOnce) with its arrivals routed
+			// through nextArrival, where the cvHorizon counting lives.
 			return r.runExp()
 		}
 	} else {
@@ -187,23 +200,47 @@ func (r *replicaRunner) run(rep int) RunResult {
 // sample exactly, and an arena load returns the identical value that
 // accumulation produced at build time.
 func (r *replicaRunner) nextArrival(next float64) float64 {
-	if r.tr != nil {
-		if r.trPos < r.trEnd {
-			v := r.tr.arrivals[r.trPos]
-			r.trPos++
-			return v
-		}
-		if !r.trLive {
+	var v float64
+	if r.tr != nil && r.trPos < r.trEnd {
+		v = r.tr.arrivals[r.trPos]
+		r.trPos++
+	} else {
+		if r.tr != nil && !r.trLive {
 			// First draw past the prefix: resume the replica's generator
 			// exactly where arena generation left it.
 			r.src.Restore(r.tr.states[r.trRep])
 			r.trLive = true
 		}
+		if r.isExp {
+			v = next + r.negMTBF*math.Log(r.src.Float64Open())
+		} else {
+			v = next + r.distrib.Sample(&r.src)
+		}
 	}
-	if r.isExp {
-		return next + r.negMTBF*math.Log(r.src.Float64Open())
+	// Every arrival — drawn or replayed — passes through here exactly once
+	// per replica, so this single branch counts the control variate exactly;
+	// cvHorizon is 0 outside adaptive runs and the branch never fires.
+	if v <= r.cvHorizon {
+		r.cvCount++
 	}
-	return next + r.distrib.Sample(&r.src)
+	return v
+}
+
+// runMeasured executes repetition rep and additionally returns the
+// control-variate observation: the number of failure arrivals in
+// [0, cvHorizon]. The walk counts every arrival it drew; arrivals beyond the
+// run's end but inside the horizon are drawn here as a top-up — extra draws
+// are harmless, as every repetition reseeds (or re-points the trace cursor)
+// from scratch. With cvHorizon <= 0 this is exactly run.
+func (r *replicaRunner) runMeasured(rep int) (RunResult, float64) {
+	r.cvCount = 0
+	res := r.run(rep)
+	if r.cvHorizon > 0 {
+		for next := r.next; next <= r.cvHorizon; {
+			next = r.nextArrival(next)
+		}
+	}
+	return res, float64(r.cvCount)
 }
 
 // advance is timeline.run inlined over the runner state: attempt an action

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Coverage meta-testing: the correctness of a confidence-interval procedure
+// is a statistical claim ("the 95% interval contains the truth in 95% of
+// repetitions"), so it is pinned the only way it can be — empirically. A
+// CoverageReport aggregates many independent seeded trials of an estimator
+// against a known ground truth and checks the observed coverage rate
+// against binomial sampling bounds. Both the sequential-stopping and the
+// paired-difference estimators (and the full adaptive simulator built on
+// them) are accepted through this harness.
+
+// CoverageReport summarizes an empirical-coverage experiment.
+type CoverageReport struct {
+	// Trials is the number of independent seeded trials run.
+	Trials int
+	// Covered counts the trials whose interval contained the truth.
+	Covered int
+	// Nominal is the coverage level the procedure claims (e.g. 0.95).
+	Nominal float64
+}
+
+// Rate returns the observed coverage fraction.
+func (r CoverageReport) Rate() float64 {
+	if r.Trials == 0 {
+		return math.NaN()
+	}
+	return float64(r.Covered) / float64(r.Trials)
+}
+
+// binomialSigma is the standard deviation of the covered count if the true
+// coverage were exactly Nominal.
+func (r CoverageReport) binomialSigma() float64 {
+	return math.Sqrt(float64(r.Trials) * r.Nominal * (1 - r.Nominal))
+}
+
+// AtLeastNominal reports whether the observed coverage is consistent with a
+// true coverage of at least Nominal: the covered count must not fall more
+// than sigmas binomial standard deviations below Trials*Nominal. This is
+// the right acceptance check for conservative procedures (alpha-spending
+// over-covers by construction, so only under-coverage is a bug).
+func (r CoverageReport) AtLeastNominal(sigmas float64) bool {
+	return float64(r.Covered) >= float64(r.Trials)*r.Nominal-sigmas*r.binomialSigma()
+}
+
+// ConsistentWithNominal reports whether the observed coverage is within
+// sigmas binomial standard deviations of Trials*Nominal on both sides; use
+// it for procedures whose coverage should be exact (e.g. the fixed-n
+// paired-difference interval), where gross over-coverage would mean the
+// interval is uselessly wide.
+func (r CoverageReport) ConsistentWithNominal(sigmas float64) bool {
+	dev := math.Abs(float64(r.Covered) - float64(r.Trials)*r.Nominal)
+	return dev <= sigmas*r.binomialSigma()
+}
+
+func (r CoverageReport) String() string {
+	return fmt.Sprintf("coverage %d/%d = %.4f (nominal %.4f)", r.Covered, r.Trials, r.Rate(), r.Nominal)
+}
+
+// EstimateCoverage runs trials independent trials of a CI-producing
+// estimator. The trial callback receives the trial index (derive the trial
+// seed from it so runs are reproducible) and returns the interval it
+// produced together with the ground-truth value it was estimating; the
+// truth is returned per-trial so experiments may vary the scenario across
+// trials. Intervals with NaN endpoints never count as covering.
+func EstimateCoverage(trials int, nominal float64, trial func(i int) (Interval, float64)) CoverageReport {
+	r := CoverageReport{Trials: trials, Nominal: nominal}
+	for i := 0; i < trials; i++ {
+		iv, truth := trial(i)
+		if iv.Covers(truth) {
+			r.Covered++
+		}
+	}
+	return r
+}

@@ -1,0 +1,349 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"abftckpt/internal/rng"
+)
+
+func TestInvNormKnownQuantiles(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.9599639845},
+		{0.025, -1.9599639845},
+		{0.995, 2.5758293035},
+		{0.9999, 3.7190164854},
+		{0.0001, -3.7190164854},
+		{0.84134474, 0.99999998}, // Phi(1)
+	}
+	for _, c := range cases {
+		got := InvNorm(c.p)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("InvNorm(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(InvNorm(0), -1) || !math.IsInf(InvNorm(1), 1) {
+		t.Errorf("InvNorm endpoints: got %v, %v", InvNorm(0), InvNorm(1))
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(InvNorm(p)) {
+			t.Errorf("InvNorm(%v) = %v, want NaN", p, InvNorm(p))
+		}
+	}
+	// Symmetry and monotonicity across the domain.
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.001 {
+		x := InvNorm(p)
+		if x <= prev {
+			t.Fatalf("InvNorm not strictly increasing at p=%v", p)
+		}
+		prev = x
+		if math.Abs(x+InvNorm(1-p)) > 1e-8 {
+			t.Fatalf("InvNorm asymmetric at p=%v: %v vs %v", p, x, InvNorm(1-p))
+		}
+	}
+}
+
+func TestLookZScheduleSpendsAlpha(t *testing.T) {
+	// The critical value grows with the look index (each look spends a
+	// smaller alpha slice) and the total spend telescopes to at most alpha.
+	alpha := 0.05
+	spent := 0.0
+	prev := 0.0
+	for k := 1; k <= 40; k++ {
+		z := lookZ(alpha, k)
+		if z <= prev {
+			t.Fatalf("lookZ not increasing at k=%d: %v <= %v", k, z, prev)
+		}
+		prev = z
+		spent += alpha / (float64(k) * float64(k+1))
+	}
+	if spent > alpha {
+		t.Fatalf("alpha spending exceeds budget: %v > %v", spent, alpha)
+	}
+	// First look spends alpha/2: z_1 = InvNorm(1 - alpha/4).
+	if got, want := lookZ(alpha, 1), InvNorm(1-alpha/4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("lookZ(1) = %v, want %v", got, want)
+	}
+}
+
+// expSample draws a unit-mean exponential variate.
+func expSample(src *rng.Source) float64 {
+	return -math.Log(src.Float64Open())
+}
+
+func TestSequentialMatchesAccumulatorWithoutControl(t *testing.T) {
+	var src rng.Source
+	src.Reseed(rng.At(99, 0))
+	seq := NewSequential(SequentialOpts{Alpha: 0.05})
+	var acc Accumulator
+	for i := 0; i < 200; i++ {
+		y := expSample(&src)
+		seq.Add(y)
+		acc.Add(y)
+	}
+	iv, _ := seq.Look()
+	if math.Abs(iv.Mean-acc.Mean()) > 1e-12 {
+		t.Fatalf("sequential mean %v != accumulator mean %v", iv.Mean, acc.Mean())
+	}
+	wantHalf := tQuantileApprox(lookZ(0.05, 1), 199) * acc.StdErr()
+	if math.Abs(iv.Half-wantHalf) > 1e-12 {
+		t.Fatalf("half-width %v, want %v", iv.Half, wantHalf)
+	}
+	if seq.Beta() != 0 || seq.VarianceRatio() != 1 {
+		t.Fatalf("control stats should be inert without a control variate: beta=%v ratio=%v",
+			seq.Beta(), seq.VarianceRatio())
+	}
+}
+
+// runSequentialTrial drives a Sequential the way the simulator does: batches
+// of observations doubling from batch0, one Look per batch, hard cap reps.
+func runSequentialTrial(seq *Sequential, cap int, batch0 int, draw func() (y, x float64)) Interval {
+	n := 0
+	batch := batch0
+	var last Interval
+	for n < cap {
+		m := batch
+		if n+m > cap {
+			m = cap - n
+		}
+		for i := 0; i < m; i++ {
+			y, x := draw()
+			seq.AddControlled(y, x)
+		}
+		n += m
+		iv, stop := seq.Look()
+		last = iv
+		if stop {
+			break
+		}
+		batch *= 2
+	}
+	return last
+}
+
+// TestSequentialStoppingCoverage is the headline meta-test for the
+// sequential-stopping interval: 600 independent seeded trials estimate a
+// unit exponential mean to a 5% relative target, stopping adaptively; the
+// interval reported at the (data-dependent) stopping time must cover the
+// truth at least 95% of the time, within binomial tolerance.
+func TestSequentialStoppingCoverage(t *testing.T) {
+	const trials = 600
+	report := EstimateCoverage(trials, 0.95, func(i int) (Interval, float64) {
+		var src rng.Source
+		src.Reseed(rng.At(20260808, uint64(i)))
+		seq := NewSequential(SequentialOpts{Alpha: 0.05, RelTarget: 0.05})
+		iv := runSequentialTrial(seq, 1<<14, 64, func() (float64, float64) {
+			return expSample(&src), 0
+		})
+		return iv, 1.0
+	})
+	t.Logf("sequential stopping: %v", report)
+	if !report.AtLeastNominal(3) {
+		t.Fatalf("sequential stopping under-covers: %v", report)
+	}
+}
+
+// TestSequentialControlVariateCoverage repeats the meta-test with the
+// control-variate adjustment active: y = x + 0.5 e with x, e independent
+// unit exponentials and the control mean E[x] = 1 known exactly, so the
+// truth is 1.5 and the regression adjustment removes the x share of the
+// variance.
+func TestSequentialControlVariateCoverage(t *testing.T) {
+	const trials = 600
+	report := EstimateCoverage(trials, 0.95, func(i int) (Interval, float64) {
+		var src rng.Source
+		src.Reseed(rng.At(777, uint64(i)))
+		seq := NewSequential(SequentialOpts{
+			Alpha: 0.05, RelTarget: 0.05,
+			UseControl: true, ControlMean: 1,
+		})
+		iv := runSequentialTrial(seq, 1<<14, 64, func() (float64, float64) {
+			x := expSample(&src)
+			return x + 0.5*expSample(&src), x
+		})
+		return iv, 1.5
+	})
+	t.Logf("control-variate stopping: %v", report)
+	if !report.AtLeastNominal(3) {
+		t.Fatalf("control-variate stopping under-covers: %v", report)
+	}
+}
+
+// TestControlVariateReducesVarianceAndReplicas asserts the point of the
+// control variate: on correlated data the residual variance drops (ratio
+// well below 1), beta recovers the true regression slope, and the adaptive
+// procedure therefore stops with fewer observations than the uncontrolled
+// one on an identical stream.
+func TestControlVariateReducesVarianceAndReplicas(t *testing.T) {
+	gen := func(seed uint64) func() (float64, float64) {
+		var src rng.Source
+		src.Reseed(seed)
+		return func() (float64, float64) {
+			x := expSample(&src)
+			return x + 0.5*expSample(&src), x
+		}
+	}
+	withCV := NewSequential(SequentialOpts{Alpha: 0.05, RelTarget: 0.03, UseControl: true, ControlMean: 1})
+	runSequentialTrial(withCV, 1<<16, 64, gen(rng.At(5, 1)))
+	without := NewSequential(SequentialOpts{Alpha: 0.05, RelTarget: 0.03})
+	runSequentialTrial(without, 1<<16, 64, gen(rng.At(5, 1)))
+
+	// Var(y) = Var(x) + 0.25 Var(e) = 1.25, residual Var = 0.25: true ratio 0.2.
+	if ratio := withCV.VarianceRatio(); ratio > 0.3 {
+		t.Fatalf("variance ratio %v, want < 0.3 (true value 0.2)", ratio)
+	}
+	if beta := withCV.Beta(); math.Abs(beta-1) > 0.15 {
+		t.Fatalf("beta %v, want ~1", beta)
+	}
+	if withCV.N() >= without.N() {
+		t.Fatalf("control variate did not save observations: %d (cv) vs %d (plain)", withCV.N(), without.N())
+	}
+}
+
+// TestSequentialTighterTargetNeedsMoreObservations is the stats-level half
+// of the monotonicity property: on an identical observation stream, a
+// tighter relative target can never stop with fewer observations.
+func TestSequentialTighterTargetNeedsMoreObservations(t *testing.T) {
+	targets := []float64{0.20, 0.10, 0.05, 0.025}
+	for seed := uint64(0); seed < 20; seed++ {
+		prev := -1
+		for _, target := range targets {
+			var src rng.Source
+			src.Reseed(rng.At(31, seed))
+			seq := NewSequential(SequentialOpts{Alpha: 0.05, RelTarget: target})
+			iv := runSequentialTrial(seq, 1<<14, 32, func() (float64, float64) {
+				return expSample(&src), 0
+			})
+			if iv.N < prev {
+				t.Fatalf("seed %d: target %v stopped at %d < %d observations of a looser target",
+					seed, target, iv.N, prev)
+			}
+			prev = iv.N
+		}
+	}
+}
+
+// TestPairedDifferenceCoverage: 600 seeded trials of the paired-difference
+// interval over correlated pairs a = c + u + 0.3, b = c + v, with c a shared
+// exponential (the common trace noise) and u, v independent; the truth
+// E[a-b] = 0.3 must be covered at the nominal rate. The procedure is a
+// fixed-n t-interval, so coverage should be consistent with nominal on both
+// sides, not just bounded below.
+func TestPairedDifferenceCoverage(t *testing.T) {
+	const trials = 600
+	const pairs = 60
+	report := EstimateCoverage(trials, 0.95, func(i int) (Interval, float64) {
+		var src rng.Source
+		src.Reseed(rng.At(424242, uint64(i)))
+		a := make([]float64, pairs)
+		b := make([]float64, pairs)
+		for j := range a {
+			c := 5 * expSample(&src) // dominant shared noise
+			a[j] = c + 0.2*expSample(&src) + 0.3
+			b[j] = c + 0.2*expSample(&src)
+		}
+		iv, err := PairedDifference(a, b, 0.05)
+		if err != nil {
+			t.Fatalf("PairedDifference: %v", err)
+		}
+		return iv, 0.3
+	})
+	t.Logf("paired difference: %v", report)
+	if !report.ConsistentWithNominal(4) {
+		t.Fatalf("paired-difference coverage off nominal: %v", report)
+	}
+}
+
+// TestPairedDifferenceCancelsSharedNoise asserts why pairing matters: the
+// paired interval over shared-noise data is far narrower than the width the
+// pooled two-sample interval would give on the same numbers.
+func TestPairedDifferenceCancelsSharedNoise(t *testing.T) {
+	var src rng.Source
+	src.Reseed(rng.At(7, 7))
+	const pairs = 200
+	a := make([]float64, pairs)
+	b := make([]float64, pairs)
+	var accA, accB Accumulator
+	for j := range a {
+		c := 10 * expSample(&src)
+		a[j] = c + 0.1*expSample(&src)
+		b[j] = c + 0.1*expSample(&src)
+		accA.Add(a[j])
+		accB.Add(b[j])
+	}
+	iv, err := PairedDifference(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooledHalf := 1.96 * math.Sqrt(accA.Variance()/pairs+accB.Variance()/pairs)
+	if iv.Half > pooledHalf/10 {
+		t.Fatalf("paired half-width %v should be >10x narrower than pooled %v", iv.Half, pooledHalf)
+	}
+}
+
+func TestPairedDifferencePrefixAndErrors(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{0.5, 1.5, 2.5}
+	iv, err := PairedDifference(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.N != 3 {
+		t.Fatalf("pairs = %d, want min(len(a), len(b)) = 3", iv.N)
+	}
+	if math.Abs(iv.Mean-0.5) > 1e-12 {
+		t.Fatalf("difference mean %v, want 0.5", iv.Mean)
+	}
+	if _, err := PairedDifference(a[:1], b, 0.05); err == nil {
+		t.Fatal("expected an error for < 2 pairs")
+	}
+}
+
+func TestIntervalCovers(t *testing.T) {
+	iv := Interval{N: 10, Mean: 2, Half: 0.5}
+	for v, want := range map[float64]bool{1.4: false, 1.5: true, 2.0: true, 2.5: true, 2.6: false} {
+		if iv.Covers(v) != want {
+			t.Errorf("Covers(%v) = %v, want %v", v, !want, want)
+		}
+	}
+	if iv.Lo() != 1.5 || iv.Hi() != 2.5 {
+		t.Errorf("endpoints [%v, %v], want [1.5, 2.5]", iv.Lo(), iv.Hi())
+	}
+}
+
+func TestSequentialNeverStopsBeforeMinN(t *testing.T) {
+	seq := NewSequential(SequentialOpts{Alpha: 0.05, AbsTarget: 1e9, MinN: 32})
+	seq.Add(1)
+	seq.Add(1.0001)
+	if _, stop := seq.Look(); stop {
+		t.Fatal("stopped below MinN")
+	}
+	for i := 0; i < 40; i++ {
+		seq.Add(1 + float64(i%3)*1e-4)
+	}
+	if _, stop := seq.Look(); !stop {
+		t.Fatal("huge absolute target should stop once MinN is reached")
+	}
+}
+
+func TestEstimateCoverageHarness(t *testing.T) {
+	// A procedure returning infinite intervals covers always; a zero-width
+	// wrong one never.
+	all := EstimateCoverage(100, 0.95, func(i int) (Interval, float64) {
+		return Interval{Mean: 0, Half: math.Inf(1)}, 42
+	})
+	if all.Covered != 100 || !all.AtLeastNominal(0) {
+		t.Fatalf("infinite intervals should always cover: %v", all)
+	}
+	none := EstimateCoverage(100, 0.95, func(i int) (Interval, float64) {
+		return Interval{Mean: 0, Half: 0}, 42
+	})
+	if none.Covered != 0 || none.AtLeastNominal(3) || none.ConsistentWithNominal(3) {
+		t.Fatalf("zero-width wrong intervals should fail every bound: %v", none)
+	}
+	if !math.IsNaN(CoverageReport{}.Rate()) {
+		t.Fatal("empty report rate should be NaN")
+	}
+}

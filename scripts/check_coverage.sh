@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Per-package coverage gate: reads a `go test -cover ./...` log and fails
+# when any package listed in COVERAGE_floors.txt covers fewer statements
+# than its floor (or is missing from the log entirely).
+#
+# Usage: scripts/check_coverage.sh <go-test-cover-log>
+set -euo pipefail
+
+log="${1:?usage: check_coverage.sh <go-test-cover-log>}"
+floors="$(dirname "$0")/../COVERAGE_floors.txt"
+
+fail=0
+while read -r pkg floor; do
+  [ -z "$pkg" ] && continue
+  case "$pkg" in \#*) continue ;; esac
+  pct=$(awk -v pkg="$pkg" '
+    $1 == "ok" && $2 == pkg {
+      for (i = 1; i <= NF; i++)
+        if ($i ~ /^[0-9.]+%$/) { sub("%", "", $i); print $i }
+    }' "$log")
+  if [ -z "$pct" ]; then
+    echo "coverage: no result for $pkg in $log" >&2
+    fail=1
+    continue
+  fi
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "coverage: $pkg at ${pct}% is below the ${floor}% floor" >&2
+    fail=1
+  else
+    echo "coverage: $pkg ${pct}% (floor ${floor}%)"
+  fi
+done < "$floors"
+exit $fail
