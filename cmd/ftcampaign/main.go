@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"abftckpt/internal/scenario"
+	"abftckpt/internal/store"
 )
 
 func main() {
@@ -71,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "out", "output directory")
 	cache := fs.String("cache", "", "cell cache directory (default <out>/.ftcache; -no-cache disables)")
 	noCache := fs.Bool("no-cache", false, "disable the cell cache")
+	storeURL := fs.String("store-url", "", "remote result store base URL (e.g. http://host:port/v1/store) instead of the on-disk cache")
 	workers := fs.Int("workers", 0, "cell-level parallelism (0: NumCPU)")
 	cohorts := fs.Bool("cohorts", true, "generate each shared failure process once and replay it across its cells (trace cohorts)")
 	arenaMB := fs.Int("arena-mb", 0, "per-cohort trace-arena memory budget in MiB (0: default 64)")
@@ -135,12 +137,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *noCache {
 		cacheDir = ""
 	}
+	// A remote store replaces the on-disk tier: results read from and
+	// write to a store served by an ftserve (its /v1/store mount), shared
+	// with every other node pointed at the same URL. Writes go through a
+	// batcher so a campaign's per-cell puts coalesce into few round-trips.
+	var cellCache *scenario.CellCache
+	if *storeURL != "" {
+		if *noCache || *cache != "" {
+			fmt.Fprintln(stderr, "ftcampaign: -store-url is mutually exclusive with -cache and -no-cache")
+			return 2
+		}
+		cellCache = scenario.NewCellCacheStore(store.NewBatcher(store.NewRemote(*storeURL, nil), 0, 0), 0)
+		defer cellCache.Close() //nolint:errcheck // flush-on-exit; puts already reported their errors
+		cacheDir = ""
+	}
 
 	start := time.Now()
 	var m manifest
 	var artErr error
 	filesByName := map[string][]string{}
 	runner := scenario.Runner{
+		Cache:          cellCache,
 		CacheDir:       cacheDir,
 		Workers:        *workers,
 		DisableCohorts: !*cohorts,

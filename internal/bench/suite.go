@@ -1,9 +1,13 @@
 package bench
 
 import (
+	"fmt"
 	"math"
+	"net/http/httptest"
 	"os"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"abftckpt/internal/abft"
 	"abftckpt/internal/app"
@@ -15,6 +19,7 @@ import (
 	"abftckpt/internal/rng"
 	"abftckpt/internal/scenario"
 	"abftckpt/internal/sim"
+	"abftckpt/internal/store"
 	"abftckpt/internal/vproc"
 )
 
@@ -384,6 +389,79 @@ func Suite() []Benchmark {
 					b.StopTimer()
 					os.RemoveAll(dir)
 					b.StartTimer()
+				}
+			},
+		},
+		{
+			Name:  "store/put_memory",
+			Brief: "one 1 KiB result put into the in-memory store",
+			Fn: func(b *testing.B) {
+				rs := store.NewMemory()
+				val := make([]byte, 1<<10)
+				for i := 0; i < b.N; i++ {
+					if err := rs.Put(fmt.Sprintf("%064d", i%4096), val); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "store/put_disk",
+			Brief: "one 1 KiB result put into the disk store (temp write + rename)",
+			Fn: func(b *testing.B) {
+				dir, err := os.MkdirTemp("", "ftbench-store-")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer os.RemoveAll(dir)
+				rs := store.NewDisk(dir)
+				val := make([]byte, 1<<10)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := rs.Put(fmt.Sprintf("%064d", i%4096), val); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "store/batcher_coalesce",
+			Brief: "concurrent puts through the write batcher over the in-memory store",
+			Fn: func(b *testing.B) {
+				// A short delay window keeps the benchmark measuring the
+				// commit loop's coalescing, not the idle-flush timer.
+				rs := store.NewBatcher(store.NewMemory(), 8, 50*time.Microsecond)
+				defer rs.Close() //nolint:errcheck
+				val := make([]byte, 1<<10)
+				var n atomic.Int64
+				b.SetParallelism(8)
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if err := rs.Put(fmt.Sprintf("%064d", n.Add(1)%4096), val); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			},
+		},
+		{
+			Name:       "store/remote_put_batch",
+			Brief:      "one 64-item PutBatch round-trip against an HTTP store",
+			UnitsPerOp: 64,
+			UnitName:   "items",
+			Fn: func(b *testing.B) {
+				srv := httptest.NewServer(store.Handler(store.NewMemory()))
+				defer srv.Close()
+				rs := store.NewRemote(srv.URL, nil)
+				items := make([]store.Item, 64)
+				for i := range items {
+					items[i] = store.Item{Key: fmt.Sprintf("%064d", i), Value: make([]byte, 1<<10)}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := rs.PutBatch(items); err != nil {
+						b.Fatal(err)
+					}
 				}
 			},
 		},

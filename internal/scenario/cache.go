@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
+
+	"abftckpt/internal/store"
 )
 
-// cacheEntry is the on-disk record of one executed cell. Spec is stored in
+// cacheEntry is the stored record of one executed cell. Spec is stored in
 // canonical form and re-verified on load, so a hash collision or a corrupt
-// file degrades to a cache miss, never to a wrong result.
+// value degrades to a cache miss, never to a wrong result. The JSON shape
+// (and, through store.Disk, the on-disk layout) predates the pluggable
+// store and is kept byte-compatible: caches written before the refactor
+// read back unchanged.
 type cacheEntry struct {
 	V         int             `json:"v"`
 	Spec      json.RawMessage `json:"spec"`
@@ -19,21 +22,23 @@ type cacheEntry struct {
 	ElapsedMS float64         `json:"elapsed_ms"`
 }
 
-// cachePath shards cache files by the first byte of the hash to keep
-// directories small on big campaigns.
-func cachePath(dir, hash string) string {
-	return filepath.Join(dir, hash[:2], hash+".json")
-}
-
-// loadCell returns the cached result of spec, if present and intact.
-func loadCell(dir string, spec CellSpec) (CellResult, bool) {
-	if dir == "" {
+// loadCell returns the cached result of spec from the store, if present
+// and intact. Any store error — missing key, unreachable remote, corrupt
+// bytes — degrades to a miss.
+func loadCell(rs store.ResultStore, spec CellSpec) (CellResult, bool) {
+	if rs == nil {
 		return CellResult{}, false
 	}
-	data, err := os.ReadFile(cachePath(dir, spec.Hash()))
+	data, err := rs.Get(spec.Hash())
 	if err != nil {
 		return CellResult{}, false
 	}
+	return decodeCellEntry(data, spec)
+}
+
+// decodeCellEntry decodes one stored entry and verifies it really belongs
+// to spec.
+func decodeCellEntry(data []byte, spec CellSpec) (CellResult, bool) {
 	var entry cacheEntry
 	if err := json.Unmarshal(data, &entry); err != nil {
 		return CellResult{}, false
@@ -44,10 +49,10 @@ func loadCell(dir string, spec CellSpec) (CellResult, bool) {
 	return entry.Result, true
 }
 
-// Encoder-buffer pooling for the disk-cache codec: a campaign executing
+// Encoder-buffer pooling for the store codec: a campaign executing
 // thousands of cells serializes one entry per cell, and per-call buffer
 // growth was pure allocator churn. Buffers are pre-sized to the typical
-// entry and returned to the pool after the file write; outliers past
+// entry and returned to the pool after the store write; outliers past
 // maxPooledEntryBuf are dropped instead of pinning memory.
 const (
 	cacheEntrySizeHint = 1 << 10
@@ -79,36 +84,20 @@ func putEntryBuf(buf *bytes.Buffer) {
 	}
 }
 
-// storeCell persists an executed cell atomically (write temp, rename).
-func storeCell(dir string, spec CellSpec, res CellResult, elapsedMS float64) error {
-	if dir == "" {
+// storeCell persists an executed cell into the store. The store owns
+// atomicity (store.Disk writes temp + rename) and may batch the commit
+// (store.Batcher); either way the call returns only after the result is
+// accepted or the commit failed.
+func storeCell(rs store.ResultStore, spec CellSpec, res CellResult, elapsedMS float64) error {
+	if rs == nil {
 		return nil
-	}
-	path := cachePath(dir, spec.Hash())
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("scenario: cache dir: %w", err)
 	}
 	buf, err := encodeCellEntry(spec, res, elapsedMS)
 	if err != nil {
 		return err
 	}
 	defer putEntryBuf(buf)
-	data := buf.Bytes()
-	tmp, err := os.CreateTemp(filepath.Dir(path), "cell-*")
-	if err != nil {
-		return fmt.Errorf("scenario: cache write: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("scenario: cache write: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("scenario: cache write: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := rs.Put(spec.Hash(), buf.Bytes()); err != nil {
 		return fmt.Errorf("scenario: cache write: %w", err)
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"testing/quick"
 
 	"abftckpt/internal/model"
+	"abftckpt/internal/store"
 )
 
 // mustCanonicalResult renders a CellResult to its canonical JSON, the
@@ -160,22 +161,27 @@ func TestQuickHashDeterministicInjective(t *testing.T) {
 // JSON form, which pins ±Inf and NaN) through the disk tier and the
 // memory tier.
 func TestQuickCacheRoundTrip(t *testing.T) {
-	dir := t.TempDir()
+	// Every store backend must round-trip entries bit-exactly; disk is the
+	// historical layout, memory backs tests and Handler, and the cache
+	// itself only ever sees the ResultStore interface.
+	stores := []store.ResultStore{store.NewDisk(t.TempDir()), store.NewMemory()}
 	prop := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		spec := genCellSpec(r)
 		res := genCellResult(r)
 		want := mustCanonicalResult(t, res)
 
-		// Disk tier.
-		if err := storeCell(dir, spec, res, 1); err != nil {
-			t.Logf("store: %v", err)
-			return false
-		}
-		got, ok := loadCell(dir, spec)
-		if !ok || mustCanonicalResult(t, got) != want {
-			t.Logf("disk round-trip mismatch: ok=%v", ok)
-			return false
+		// Store tier, every backend.
+		for _, rs := range stores {
+			if err := storeCell(rs, spec, res, 1); err != nil {
+				t.Logf("store: %v", err)
+				return false
+			}
+			got, ok := loadCell(rs, spec)
+			if !ok || mustCanonicalResult(t, got) != want {
+				t.Logf("store round-trip mismatch: ok=%v", ok)
+				return false
+			}
 		}
 
 		// Memory tier.

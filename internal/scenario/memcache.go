@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"abftckpt/internal/store"
 )
 
 // CellTier identifies which tier of the two-tier cell cache satisfied a
@@ -40,9 +42,9 @@ type CacheStats struct {
 	// execution instead of starting their own.
 	Coalesced int64 `json:"coalesced"`
 	// StoreErrors counts executed cells whose result could not be written
-	// to the disk tier (full disk, read-only directory, …). The result is
-	// still returned and kept in memory — a broken disk tier degrades the
-	// cache, never the request.
+	// to the store tier (full disk, read-only directory, unreachable
+	// remote, …). The result is still returned and kept in memory — a
+	// broken store degrades the cache, never the request.
 	StoreErrors int64 `json:"store_errors"`
 	// ExecErrors counts cell executions that failed outright (the request
 	// observed an error and nothing was cached).
@@ -55,13 +57,15 @@ type CacheStats struct {
 const DefaultMemCells = 4096
 
 // CellCache is the two-tier cell cache: a size-bounded in-memory LRU with
-// singleflight request coalescing, layered over the content-hashed on-disk
-// cache. Concurrent identical requests execute once; hot cells are served
-// without touching disk. A CellCache is safe for concurrent use and is
-// meant to be shared — between campaign jobs, and between jobs and
-// synchronous single-cell evaluations.
+// singleflight request coalescing, layered over a pluggable result store
+// (store.ResultStore — the content-hashed disk layout, an in-memory store,
+// or a remote store over HTTP). Concurrent identical requests execute
+// once; hot cells are served without touching the store. A CellCache is
+// safe for concurrent use and is meant to be shared — between campaign
+// jobs, and between jobs and synchronous single-cell evaluations.
 type CellCache struct {
-	dir      string
+	store    store.ResultStore // nil: memory tier only
+	dir      string            // root of a disk-layout store, "" otherwise
 	capacity int
 
 	mu      sync.Mutex
@@ -85,15 +89,29 @@ type flightCall struct {
 	err    error
 }
 
-// NewCellCache returns a cache over the given disk directory (empty
-// disables the disk tier) holding at most memCells results in memory
-// (<= 0 selects DefaultMemCells).
+// NewCellCache returns a cache whose second tier is the historical disk
+// layout rooted at dir (empty disables the second tier entirely), holding
+// at most memCells results in memory (<= 0 selects DefaultMemCells).
 func NewCellCache(dir string, memCells int) *CellCache {
+	var rs store.ResultStore
+	if dir != "" {
+		rs = store.NewDisk(dir)
+	}
+	c := NewCellCacheStore(rs, memCells)
+	c.dir = dir
+	return c
+}
+
+// NewCellCacheStore returns a cache whose second tier is the given result
+// store (nil: memory tier only). The store may be any backend — memory,
+// disk, remote — optionally wrapped in a store.Batcher; the cache only
+// ever issues Get and Put with the cell content hash as the key.
+func NewCellCacheStore(rs store.ResultStore, memCells int) *CellCache {
 	if memCells <= 0 {
 		memCells = DefaultMemCells
 	}
 	return &CellCache{
-		dir:      dir,
+		store:    rs,
 		capacity: memCells,
 		entries:  map[string]*list.Element{},
 		order:    list.New(),
@@ -101,8 +119,32 @@ func NewCellCache(dir string, memCells int) *CellCache {
 	}
 }
 
-// Dir returns the disk-tier directory ("" when the disk tier is disabled).
+// Dir returns the root directory when the second tier is the disk layout
+// ("" for any other backend, including none).
 func (c *CellCache) Dir() string { return c.dir }
+
+// Store returns the second-tier result store (nil when the cache is
+// memory-only). The server mounts the store API over it so workers can
+// share one cache.
+func (c *CellCache) Store() store.ResultStore { return c.store }
+
+// Flush forces buffered store writes (a store.Batcher in the stack) to
+// commit. Memory-only caches return nil.
+func (c *CellCache) Flush() error {
+	if c.store == nil {
+		return nil
+	}
+	return c.store.Flush()
+}
+
+// Close flushes and releases the second-tier store. The cache must not be
+// used afterwards.
+func (c *CellCache) Close() error {
+	if c.store == nil {
+		return nil
+	}
+	return c.store.Close()
+}
 
 // Stats returns a snapshot of the cache counters.
 func (c *CellCache) Stats() CacheStats {
@@ -126,8 +168,8 @@ func (c *CellCache) insertLocked(hash string, res CellResult) {
 	}
 }
 
-// Lookup consults the memory tier then the disk tier, never executing. A
-// disk hit is promoted into memory.
+// Lookup consults the memory tier then the store tier, never executing. A
+// store hit is promoted into memory.
 func (c *CellCache) Lookup(spec CellSpec) (CellResult, CellTier, bool) {
 	hash := spec.Hash()
 	c.mu.Lock()
@@ -138,13 +180,13 @@ func (c *CellCache) Lookup(spec CellSpec) (CellResult, CellTier, bool) {
 		c.mu.Unlock()
 		return res, TierMem, true
 	}
-	if c.dir == "" {
+	if c.store == nil {
 		c.mu.Unlock()
 		return CellResult{}, "", false
 	}
 	c.stats.DiskReads++
 	c.mu.Unlock()
-	res, ok := loadCell(c.dir, spec)
+	res, ok := loadCell(c.store, spec)
 	if !ok {
 		return CellResult{}, "", false
 	}
@@ -203,29 +245,30 @@ func (c *CellCache) do(spec CellSpec, exec func() (CellResult, error)) (CellResu
 		close(fc.done)
 	}()
 
-	// Leader path: disk, then execution. No lock is held during I/O or
+	// Leader path: store, then execution. No lock is held during I/O or
 	// cell execution.
 	tier := TierDisk
 	var res CellResult
 	var err error
 	hit := false
 	storeFailed := false
-	if c.dir != "" {
+	if c.store != nil {
 		c.mu.Lock()
 		c.stats.DiskReads++
 		c.mu.Unlock()
-		res, hit = loadCell(c.dir, spec)
+		res, hit = loadCell(c.store, spec)
 	}
 	if !hit {
 		tier = TierExec
 		start := time.Now()
 		res, err = exec()
 		// A cache-write failure must not masquerade as an execution
-		// failure: the result is correct, only the disk tier is degraded
-		// (full disk, read-only directory). Keep the result, serve it to
-		// every coalesced waiter, and count the store error.
+		// failure: the result is correct, only the store tier is degraded
+		// (full disk, read-only directory, unreachable remote). Keep the
+		// result, serve it to every coalesced waiter, and count the store
+		// error.
 		if err == nil {
-			storeFailed = storeCell(c.dir, spec, res, float64(time.Since(start).Microseconds())/1000) != nil
+			storeFailed = storeCell(c.store, spec, res, float64(time.Since(start).Microseconds())/1000) != nil
 		}
 	}
 	c.mu.Lock()

@@ -96,6 +96,15 @@ type Runner struct {
 	// (0: DefaultArenaBudget). Cohorts whose estimated arena exceeds the
 	// budget fall back to per-cell generation.
 	ArenaBudget int64
+	// ExecBatch, when set, replaces local cell execution: each cohort is
+	// handed to the hook in one call (whole cohorts, so a remote worker
+	// still shares the failure process across its cells) and must come back
+	// as one result per spec, in order. Results still flow through the
+	// cache — dedupe, singleflight, store write-back and Report accounting
+	// are identical to local execution; only the compute moves. The
+	// coordinator sets this to dispatch cohorts to workers over HTTP. The
+	// hook may be called from several workers concurrently.
+	ExecBatch func(specs []CellSpec) ([]CellResult, error)
 	// OnPlan, when set, receives the expanded campaign plan once, before
 	// any cell runs.
 	OnPlan func(Plan)
@@ -310,9 +319,22 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 					}
 					// Materialize the cohort's failure process once; nil
 					// (singleton, bad spec or over-budget arena) falls back
-					// to per-cell generation.
+					// to per-cell generation. Under ExecBatch the compute —
+					// arena included — happens wherever the hook runs, so no
+					// local arena is built.
 					var arena *sim.TraceArena
-					if len(co.hashes) > 1 {
+					var batchRes []CellResult
+					var batchErr error
+					if r.ExecBatch != nil {
+						specs := make([]CellSpec, len(co.hashes))
+						for i, h := range co.hashes {
+							specs[i] = states[h].spec
+						}
+						batchRes, batchErr = r.ExecBatch(specs)
+						if batchErr == nil && len(batchRes) != len(specs) {
+							batchErr = fmt.Errorf("scenario: ExecBatch returned %d results for %d cells", len(batchRes), len(specs))
+						}
+					} else if len(co.hashes) > 1 {
 						cells := make([]CellSpec, len(co.hashes))
 						for i, h := range co.hashes {
 							cells[i] = states[h].spec
@@ -323,16 +345,25 @@ func (r *Runner) Run(c *Campaign) (*Report, error) {
 							mu.Unlock()
 						}
 					}
-					for _, h := range co.hashes {
+					for i, h := range co.hashes {
 						if failed() {
 							break
 						}
 						st := states[h]
-						opts := ExecOptions{Workers: simWorkers, Arena: arena}
+						exec := func() (CellResult, error) {
+							return st.spec.ExecuteOpts(ExecOptions{Workers: simWorkers, Arena: arena})
+						}
+						if r.ExecBatch != nil {
+							i := i
+							exec = func() (CellResult, error) {
+								if batchErr != nil {
+									return CellResult{}, batchErr
+								}
+								return batchRes[i], nil
+							}
+						}
 						start := time.Now()
-						res, tier, err := cache.do(st.spec, func() (CellResult, error) {
-							return st.spec.ExecuteOpts(opts)
-						})
+						res, tier, err := cache.do(st.spec, exec)
 						elapsed := time.Since(start)
 						mu.Lock()
 						if err != nil {

@@ -1,0 +1,217 @@
+// Sharded campaign execution. A server becomes a coordinator when its
+// Config lists worker base URLs: campaign jobs still expand, deduplicate,
+// preload and assemble locally, but cell execution is dispatched — one
+// trace cohort per shard, so a cohort's shared failure process still
+// materializes once, on whichever worker receives it. Workers are plain
+// ftserve instances exposing POST /v1/shards; pointing every node at one
+// shared result store (see internal/store) deduplicates across the fleet
+// and lets a restarted coordinator reuse everything already computed.
+//
+// Artifact bytes are independent of the dispatch: the runner assembles in
+// campaign order from per-cell results, and results round-trip exactly
+// (scenario.JSONFloat pins ±Inf/NaN and shortest-form floats), so a
+// sharded run's merged CSVs are byte-identical to a single-node run's.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"abftckpt/internal/scenario"
+)
+
+// DefaultShardTimeout bounds one shard round-trip (a cohort of simulation
+// cells can legitimately run minutes).
+const DefaultShardTimeout = 15 * time.Minute
+
+// maxShardCells bounds the cells one shard request may carry.
+const maxShardCells = 4096
+
+// dispatchRounds is how many passes over the worker list a shard attempts
+// before the job fails; later rounds back off so a transiently saturated
+// fleet (429s) gets room to drain.
+const dispatchRounds = 3
+
+// shardRequest is the POST /v1/shards request body.
+type shardRequest struct {
+	// Cells are the cells to execute, at most maxShardCells. The
+	// coordinator sends one trace cohort per request.
+	Cells []scenario.CellSpec `json:"cells"`
+}
+
+// shardResponse is the POST /v1/shards response body.
+type shardResponse struct {
+	// Results holds one result per request cell, in request order.
+	Results []scenario.CellResult `json:"results"`
+	// Tiers reports the worker cache tier that served each cell.
+	Tiers []scenario.CellTier `json:"tiers"`
+	// Executed and Cached partition the unique cells of the shard.
+	Executed int `json:"executed"`
+	Cached   int `json:"cached"`
+}
+
+// WorkerStatus is one worker's cumulative dispatch counters, surfaced in
+// /v1/stats and /metrics on a coordinator.
+type WorkerStatus struct {
+	URL string `json:"url"`
+	// Shards counts successfully completed shard round-trips.
+	Shards int64 `json:"shards"`
+	// Cells counts cells across those shards; Executed and Cached
+	// partition them by what the worker reported.
+	Cells    int64 `json:"cells"`
+	Executed int64 `json:"executed"`
+	Cached   int64 `json:"cached"`
+	// Errors counts failed dispatch attempts (transport errors, non-200
+	// statuses, malformed responses).
+	Errors int64 `json:"errors"`
+}
+
+// handleShards executes one shard of cells on this worker through the
+// shared cache. The whole shard holds one cell-admission slot, like a
+// synchronous cell request.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining; not accepting new work")
+		return
+	}
+	if !s.admitCell(w, r, "shards") {
+		return
+	}
+	defer func() { <-s.cellSem }()
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req shardRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"shard body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "parse shard: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, "shard has no cells")
+		return
+	}
+	if len(req.Cells) > maxShardCells {
+		writeError(w, http.StatusBadRequest,
+			"shard has %d cells, limit %d", len(req.Cells), maxShardCells)
+		return
+	}
+	for i := range req.Cells {
+		if err := req.Cells[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+	}
+	simWorkers := s.workers
+	if simWorkers <= 0 {
+		simWorkers = runtime.NumCPU()
+	}
+	out, err := scenario.ExecuteShard(s.cache, req.Cells, simWorkers, 0)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, shardResponse{
+		Results:  out.Results,
+		Tiers:    out.Tiers,
+		Executed: out.Executed,
+		Cached:   out.Cached,
+	})
+}
+
+// dispatchShard sends one cohort of cells to a worker: round-robin pick,
+// failover through the rest of the fleet, bounded retry rounds with
+// backoff. On success the per-worker and per-job counters advance and the
+// results come back in spec order; after every attempt fails, the last
+// error surfaces (and the job fails).
+func (s *Server) dispatchShard(j *job, specs []scenario.CellSpec) ([]scenario.CellResult, error) {
+	body, err := json.Marshal(shardRequest{Cells: specs})
+	if err != nil {
+		return nil, fmt.Errorf("server: marshal shard: %w", err)
+	}
+	n := len(s.workerURLs)
+	start := int(s.rr.Add(1)-1) % n
+	var lastErr error
+	for round := 0; round < dispatchRounds; round++ {
+		if round > 0 {
+			time.Sleep(time.Duration(round) * 100 * time.Millisecond)
+		}
+		for k := 0; k < n; k++ {
+			i := (start + k) % n
+			url := s.workerURLs[i]
+			resp, err := s.postShard(url, body)
+			if err == nil && len(resp.Results) != len(specs) {
+				err = fmt.Errorf("%d results for %d cells", len(resp.Results), len(specs))
+			}
+			if err != nil {
+				lastErr = fmt.Errorf("worker %s: %w", url, err)
+				s.mu.Lock()
+				s.workerStats[i].Errors++
+				s.mu.Unlock()
+				continue
+			}
+			s.mu.Lock()
+			ws := s.workerStats[i]
+			ws.Shards++
+			ws.Cells += int64(len(specs))
+			ws.Executed += int64(resp.Executed)
+			ws.Cached += int64(resp.Cached)
+			s.mu.Unlock()
+			if j != nil {
+				j.onShard(url, len(specs), resp.Executed, resp.Cached)
+			}
+			return resp.Results, nil
+		}
+	}
+	return nil, fmt.Errorf("server: shard failed on all %d workers: %w", n, lastErr)
+}
+
+// postShard performs one shard round-trip against one worker.
+func (s *Server) postShard(workerURL string, body []byte) (*shardResponse, error) {
+	httpResp, err := s.shardClient.Post(workerURL+"/v1/shards", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("read response: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		snippet := data
+		if len(snippet) > 256 {
+			snippet = snippet[:256]
+		}
+		return nil, fmt.Errorf("status %s: %s", httpResp.Status, bytes.TrimSpace(snippet))
+	}
+	var out shardResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("decode response: %w", err)
+	}
+	return &out, nil
+}
+
+// workerStatuses snapshots the per-worker counters, sorted by URL for
+// stable output. Empty (not nil-panicking) outside coordinator mode.
+func (s *Server) workerStatuses() []WorkerStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(s.workerStats))
+	for _, ws := range s.workerStats {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ type job struct {
 	campaign  string
 	state     string
 	errMsg    string
+	forced    bool // force-failed (shutdown); finish must not overwrite
 	created   time.Time
 	ended     time.Time
 	queueWait time.Duration // time spent waiting for a run slot
@@ -35,8 +37,9 @@ type job struct {
 	executed  int
 	scenarios []*scenarioStatus
 	byName    map[string]*scenarioStatus
-	artifacts map[string][]byte // finished CSV bytes by artifact name
-	artKinds  map[string]string // artifact shape by name
+	workers   map[string]*jobWorkerStatus // per-worker shard progress (coordinator)
+	artifacts map[string][]byte           // finished CSV bytes by artifact name
+	artKinds  map[string]string           // artifact shape by name
 }
 
 // scenarioStatus tracks one scenario of a job.
@@ -46,6 +49,15 @@ type scenarioStatus struct {
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
 	State string `json:"state"` // "pending", "running" or "done"
+}
+
+// jobWorkerStatus tracks one worker's contribution to a coordinated job.
+type jobWorkerStatus struct {
+	URL      string `json:"url"`
+	Shards   int    `json:"shards"`
+	Cells    int    `json:"cells"`
+	Executed int    `json:"executed"`
+	Cached   int    `json:"cached"`
 }
 
 // artifactInfo is one finished artifact in the job status.
@@ -99,6 +111,24 @@ func (j *job) onCell(ev scenario.CellEvent) {
 	}
 }
 
+// onShard records one completed shard dispatch (coordinator mode).
+func (j *job) onShard(workerURL string, cells, executed, cached int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.workers == nil {
+		j.workers = map[string]*jobWorkerStatus{}
+	}
+	ws := j.workers[workerURL]
+	if ws == nil {
+		ws = &jobWorkerStatus{URL: workerURL}
+		j.workers[workerURL] = ws
+	}
+	ws.Shards++
+	ws.Cells += cells
+	ws.Executed += executed
+	ws.Cached += cached
+}
+
 // onScenario updates per-scenario progress (Runner.OnScenario).
 func (j *job) onScenario(ev scenario.ScenarioEvent) {
 	j.mu.Lock()
@@ -135,10 +165,30 @@ func (j *job) onArtifact(a scenario.Artifact) {
 	j.artKinds[a.Name] = a.Kind()
 }
 
+// forceFail drives a live job to a terminal failed state with the given
+// reason (server shutdown); it reports whether the job was live. The
+// runner goroutine may still be executing — its later finish is a no-op,
+// so the reason clients see is the shutdown's, not a stale success.
+func (j *job) forceFail(reason string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return false
+	}
+	j.state = StateFailed
+	j.errMsg = reason
+	j.forced = true
+	j.ended = time.Now().UTC()
+	return true
+}
+
 // finish records the run outcome.
 func (j *job) finish(report *scenario.Report, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.forced {
+		return
+	}
 	j.ended = time.Now().UTC()
 	switch {
 	case err != nil:
@@ -183,10 +233,11 @@ type jobStatus struct {
 		Cached   int `json:"cached"`
 		Executed int `json:"executed"`
 	} `json:"cells"`
-	Scenarios []scenarioStatus `json:"scenarios"`
-	Artifacts []artifactInfo   `json:"artifacts"`
-	Created   time.Time        `json:"created"`
-	Ended     *time.Time       `json:"ended,omitempty"`
+	Scenarios []scenarioStatus  `json:"scenarios"`
+	Workers   []jobWorkerStatus `json:"workers,omitempty"`
+	Artifacts []artifactInfo    `json:"artifacts"`
+	Created   time.Time         `json:"created"`
+	Ended     *time.Time        `json:"ended,omitempty"`
 	// QueueWaitMS is how long the job waited for a run slot (0 until it
 	// leaves state "queued").
 	QueueWaitMS float64 `json:"queue_wait_ms"`
@@ -213,6 +264,10 @@ func (j *job) status() jobStatus {
 	for _, sc := range j.scenarios {
 		st.Scenarios = append(st.Scenarios, *sc)
 	}
+	for _, ws := range j.workers {
+		st.Workers = append(st.Workers, *ws)
+	}
+	sort.Slice(st.Workers, func(a, b int) bool { return st.Workers[a].URL < st.Workers[b].URL })
 	// Artifacts stream in completion order; present them in campaign
 	// order (the plan's scenario order), listing only the finished ones.
 	if j.plan != nil {

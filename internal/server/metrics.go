@@ -87,6 +87,11 @@ type labelMetrics struct {
 	sumQueueMS float64
 	byStatus   map[int]int64
 	window     latWindow
+	// queueWindow holds recent positive queue waits only: its quantiles
+	// answer "how long do requests that had to wait actually wait", which
+	// drives the Retry-After hint on 429s. Zero-wait requests would drown
+	// the signal.
+	queueWindow latWindow
 }
 
 func newLabelMetrics() *labelMetrics {
@@ -108,6 +113,9 @@ func (l *labelMetrics) observe(status int, queueMS, durMS float64) {
 		l.maxMS = durMS
 	}
 	l.window.observe(durMS)
+	if queueMS > 0 {
+		l.queueWindow.observe(queueMS)
+	}
 }
 
 // LatencySummary is the JSON shape of one aggregated label in /v1/stats.
@@ -178,6 +186,19 @@ func (m *Metrics) Observe(s RequestSample) {
 	}
 }
 
+// QueueWaitP50MS returns the sliding-window median of the positive
+// admission queue waits observed on the endpoint, or 0 when none have
+// been observed.
+func (m *Metrics) QueueWaitP50MS(endpoint string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoints[endpoint]
+	if ep == nil {
+		return 0
+	}
+	return ep.queueWindow.quantiles(0.50)[0]
+}
+
 // EndpointSummaries returns one summary per endpoint label, sorted by
 // label for stable output.
 func (m *Metrics) EndpointSummaries() []LatencySummary {
@@ -221,9 +242,11 @@ type promGauges struct {
 	QueuedJobs    int
 	RunningJobs   int
 	InflightCells int
+	Draining      bool
 	Cache         scenario.CacheStats
 	Cohorts       CohortStats
 	Adaptive      AdaptiveStats
+	Workers       []WorkerStatus
 }
 
 // WritePromText writes the Prometheus text exposition format: cumulative
@@ -294,6 +317,32 @@ func (m *Metrics) WritePromText(w io.Writer, g promGauges) {
 	fmt.Fprintln(w, "# HELP ftserve_inflight_cells Synchronous cell requests currently holding an admission slot.")
 	fmt.Fprintln(w, "# TYPE ftserve_inflight_cells gauge")
 	fmt.Fprintf(w, "ftserve_inflight_cells %d\n", g.InflightCells)
+	fmt.Fprintln(w, "# HELP ftserve_draining Whether the server is draining for shutdown (1) or serving normally (0).")
+	fmt.Fprintln(w, "# TYPE ftserve_draining gauge")
+	draining := 0
+	if g.Draining {
+		draining = 1
+	}
+	fmt.Fprintf(w, "ftserve_draining %d\n", draining)
+
+	if len(g.Workers) > 0 {
+		fmt.Fprintln(w, "# HELP ftserve_worker_shards_total Shards completed per worker (coordinator mode).")
+		fmt.Fprintln(w, "# TYPE ftserve_worker_shards_total counter")
+		for _, ws := range g.Workers {
+			fmt.Fprintf(w, "ftserve_worker_shards_total{worker=%q} %d\n", ws.URL, ws.Shards)
+		}
+		fmt.Fprintln(w, "# HELP ftserve_worker_cells_total Cells dispatched per worker, by outcome the worker reported.")
+		fmt.Fprintln(w, "# TYPE ftserve_worker_cells_total counter")
+		for _, ws := range g.Workers {
+			fmt.Fprintf(w, "ftserve_worker_cells_total{worker=%q,outcome=\"executed\"} %d\n", ws.URL, ws.Executed)
+			fmt.Fprintf(w, "ftserve_worker_cells_total{worker=%q,outcome=\"cached\"} %d\n", ws.URL, ws.Cached)
+		}
+		fmt.Fprintln(w, "# HELP ftserve_worker_errors_total Failed dispatch attempts per worker.")
+		fmt.Fprintln(w, "# TYPE ftserve_worker_errors_total counter")
+		for _, ws := range g.Workers {
+			fmt.Fprintf(w, "ftserve_worker_errors_total{worker=%q} %d\n", ws.URL, ws.Errors)
+		}
+	}
 
 	fmt.Fprintln(w, "# HELP ftserve_cache_requests_total Cell-cache outcomes, by tier.")
 	fmt.Fprintln(w, "# TYPE ftserve_cache_requests_total counter")

@@ -12,6 +12,11 @@
 //	GET  /v1/jobs/{id}/artifacts/{name}    one artifact as a CSV stream
 //	POST /v1/cells                         evaluate one cell synchronously
 //	                                       (X-Cache reports the tier)
+//	POST /v1/shards                        execute a batch of cells for a
+//	                                       coordinator (see coordinator.go)
+//	POST /v1/store/{get,put}               the result-store batch API over
+//	                                       this server's second cache tier
+//	                                       (mounted only when one exists)
 //	GET  /v1/platforms                     the built-in platform catalogue
 //	GET  /v1/stats                         cache/cohort counters plus server
 //	                                       state and latency summaries
@@ -30,18 +35,22 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"abftckpt/internal/scenario"
+	"abftckpt/internal/store"
 )
 
 // Config tunes a Server.
@@ -70,6 +79,15 @@ type Config struct {
 	// slot before being rejected. Negative disables waiting (immediate
 	// 429 when saturated). Default 100ms.
 	AdmissionWait time.Duration
+	// WorkerURLs, when non-empty, puts the server in coordinator mode:
+	// campaign cell execution is dispatched to these worker base URLs
+	// (plain ftserve instances) over POST /v1/shards instead of running
+	// locally. Point coordinator and workers at one shared result store
+	// so the fleet deduplicates work.
+	WorkerURLs []string
+	// ShardClient is the HTTP client used to dispatch shards (nil: a
+	// client with DefaultShardTimeout). Coordinator mode only.
+	ShardClient *http.Client
 }
 
 // Defaults apply when Config leaves the corresponding bound unset.
@@ -84,10 +102,21 @@ const (
 // this machine.
 func DefaultMaxInflightCells() int { return 4 * runtime.NumCPU() }
 
-// retryAfterSeconds is the Retry-After hint on 429 responses: long enough
-// for a queued job or a slow cell to drain, short enough that open-loop
-// clients re-probe quickly.
+// retryAfterSeconds is the fallback Retry-After hint on 429 responses,
+// used until the endpoint has observed any admission queue waits: long
+// enough for a queued job or a slow cell to drain, short enough that
+// open-loop clients re-probe quickly. Once waits have been observed the
+// hint tracks their sliding-window median instead (see retryAfter).
 const retryAfterSeconds = 1
+
+// Retry-After hints computed from observed queue waits are clamped to
+// this range: at least a second (sub-second hints round to zero in many
+// clients and stampede), at most 30 (a longer hint starves well-behaved
+// clients on a hiccup).
+const (
+	minRetryAfterSeconds = 1
+	maxRetryAfterSeconds = 30
+)
 
 // maxBodyBytes bounds request bodies on the POST endpoints; the paper's
 // full campaign file is ~7 KB.
@@ -105,7 +134,17 @@ type Server struct {
 	cellSem       chan struct{} // bounds in-flight synchronous cell requests
 	metrics       *Metrics
 
+	// draining refuses new work (503 on the POST endpoints) while running
+	// jobs and cells finish; set once by BeginDrain during shutdown.
+	draining atomic.Bool
+
+	// Coordinator mode (empty workerURLs: plain single-node server).
+	workerURLs  []string
+	shardClient *http.Client
+	rr          atomic.Uint64 // round-robin dispatch cursor
+
 	mu          sync.Mutex
+	workerStats []*WorkerStatus // parallel to workerURLs
 	jobs        map[string]*job
 	order       []string // job ids in creation order, for eviction
 	queuedJobs  int      // jobs waiting for a run slot
@@ -161,7 +200,11 @@ func New(cfg Config) *Server {
 	if wait == 0 {
 		wait = DefaultAdmissionWait
 	}
-	return &Server{
+	shardClient := cfg.ShardClient
+	if shardClient == nil {
+		shardClient = &http.Client{Timeout: DefaultShardTimeout}
+	}
+	s := &Server{
 		cache:         cache,
 		workers:       cfg.Workers,
 		maxJobs:       maxJobs,
@@ -169,9 +212,16 @@ func New(cfg Config) *Server {
 		admissionWait: wait,
 		runSem:        make(chan struct{}, maxRunning),
 		cellSem:       make(chan struct{}, maxInflight),
+		shardClient:   shardClient,
 		metrics:       NewMetrics(),
 		jobs:          map[string]*job{},
 	}
+	for _, u := range cfg.WorkerURLs {
+		u = strings.TrimRight(u, "/")
+		s.workerURLs = append(s.workerURLs, u)
+		s.workerStats = append(s.workerStats, &WorkerStatus{URL: u})
+	}
+	return s
 }
 
 // Cache returns the server's shared cell cache (tests assert on its
@@ -189,6 +239,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.instrument("artifacts", s.handleArtifact))
 	mux.HandleFunc("POST /v1/cells", s.instrument("cells", s.handleCell))
+	mux.HandleFunc("POST /v1/shards", s.instrument("shards", s.handleShards))
 	mux.HandleFunc("GET /v1/platforms", s.instrument("platforms", s.handlePlatforms))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -196,7 +247,62 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	// When the cache has a second tier, expose it over the store batch API
+	// so workers can share this server's store (-store-url .../v1/store).
+	if rs := s.cache.Store(); rs != nil {
+		mux.Handle("POST /v1/store/", http.StripPrefix("/v1/store", store.Handler(rs)))
+	}
 	return mux
+}
+
+// BeginDrain puts the server in draining mode: the POST endpoints refuse
+// new work with 503 while already-accepted jobs and cells keep running.
+// Draining is one-way; it is called once during shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// AwaitIdle blocks until no campaign job is queued or running, or ctx
+// expires; it reports whether the server went idle. Synchronous cell
+// requests are not waited on — http.Server.Shutdown already waits for
+// in-flight requests.
+func (s *Server) AwaitIdle(ctx context.Context) bool {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		idle := s.queuedJobs == 0 && s.runningJobs == 0
+		s.mu.Unlock()
+		if idle {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-tick.C:
+		}
+	}
+}
+
+// FailLiveJobs force-fails every queued or running job with the given
+// reason and returns how many it failed. Used when the drain deadline
+// expires: clients polling those jobs see a terminal "failed" state with
+// the shutdown reason instead of a job that never finishes.
+func (s *Server) FailLiveJobs(reason string) int {
+	s.mu.Lock()
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, j := range live {
+		if j.forceFail(reason) {
+			n++
+		}
+	}
+	return n
 }
 
 // statusRecorder captures the response status (and lets handlers annotate
@@ -255,9 +361,30 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
-// reject emits a 429 with the Retry-After hint.
-func reject(w http.ResponseWriter, format string, args ...any) {
-	w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+// retryAfter computes the Retry-After hint for a 429 on the endpoint:
+// the sliding-window median of the admission queue waits recently
+// observed there (rounded up to whole seconds, clamped), because the
+// typical wait of requests that did get in is the best available estimate
+// of how long a rejected client should stand back. Before any wait has
+// been observed the constant fallback applies.
+func (s *Server) retryAfter(endpoint string) int {
+	p50 := s.metrics.QueueWaitP50MS(endpoint)
+	if p50 <= 0 {
+		return retryAfterSeconds
+	}
+	secs := int(math.Ceil(p50 / 1000))
+	if secs < minRetryAfterSeconds {
+		secs = minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
+}
+
+// reject emits a 429 with the endpoint's load-aware Retry-After hint.
+func (s *Server) reject(w http.ResponseWriter, endpoint, format string, args ...any) {
+	w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter(endpoint)))
 	writeError(w, http.StatusTooManyRequests, format, args...)
 }
 
@@ -293,13 +420,17 @@ func (s *Server) newJobID() string {
 // asynchronous job. Submissions past the bounded job queue are shed with
 // 429 before the body is even parsed.
 func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining; not accepting new work")
+		return
+	}
 	// Admission first: reserve a queue slot before doing any parse work,
 	// so a saturated server sheds load as cheaply as possible.
 	s.mu.Lock()
 	if s.queuedJobs >= s.maxQueued {
 		queued := s.queuedJobs
 		s.mu.Unlock()
-		reject(w, "job queue full (%d queued, %d running); retry later", queued, s.runningSnapshot())
+		s.reject(w, "campaigns", "job queue full (%d queued, %d running); retry later", queued, s.runningSnapshot())
 		return
 	}
 	s.queuedJobs++
@@ -384,6 +515,13 @@ func (s *Server) runJob(j *job, campaign *scenario.Campaign) {
 		OnScenario: j.onScenario,
 		OnArtifact: j.onArtifact,
 	}
+	if len(s.workerURLs) > 0 {
+		// Coordinator mode: cohorts execute on the worker fleet; the local
+		// runner still owns dedupe, cache preload and artifact assembly.
+		runner.ExecBatch = func(specs []scenario.CellSpec) ([]scenario.CellResult, error) {
+			return s.dispatchShard(j, specs)
+		}
+	}
 	report, err := runner.Run(campaign)
 	j.finish(report, err)
 	// Re-run eviction now that this job is finished: without it, jobs
@@ -448,17 +586,18 @@ type cellResponse struct {
 	Result scenario.CellResult `json:"result"`
 }
 
-// handleCell evaluates one cell synchronously through the shared cache.
-// Requests past the in-flight bound wait up to AdmissionWait for a slot,
-// then get 429 + Retry-After.
-func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+// admitCell acquires one in-flight cell slot, waiting up to AdmissionWait
+// for it; on refusal (429 + load-aware Retry-After, or 499 on client
+// abandon) it writes the response and reports false. On true the caller
+// owns a cellSem slot and must release it.
+func (s *Server) admitCell(w http.ResponseWriter, r *http.Request, endpoint string) bool {
 	waitStart := time.Now()
 	select {
 	case s.cellSem <- struct{}{}:
 	default:
 		if s.admissionWait <= 0 {
-			reject(w, "cell capacity saturated (%d in flight); retry later", cap(s.cellSem))
-			return
+			s.reject(w, endpoint, "cell capacity saturated (%d in flight); retry later", cap(s.cellSem))
+			return false
 		}
 		timer := time.NewTimer(s.admissionWait)
 		select {
@@ -466,17 +605,31 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 			timer.Stop()
 		case <-timer.C:
 			setQueueWait(w, time.Since(waitStart))
-			reject(w, "cell capacity saturated (%d in flight); retry later", cap(s.cellSem))
-			return
+			s.reject(w, endpoint, "cell capacity saturated (%d in flight); retry later", cap(s.cellSem))
+			return false
 		case <-r.Context().Done():
 			timer.Stop()
 			setQueueWait(w, time.Since(waitStart))
 			writeError(w, 499, "client closed request")
-			return
+			return false
 		}
 	}
-	defer func() { <-s.cellSem }()
 	setQueueWait(w, time.Since(waitStart))
+	return true
+}
+
+// handleCell evaluates one cell synchronously through the shared cache.
+// Requests past the in-flight bound wait up to AdmissionWait for a slot,
+// then get 429 + Retry-After.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining; not accepting new work")
+		return
+	}
+	if !s.admitCell(w, r, "cells") {
+		return
+	}
+	defer func() { <-s.cellSem }()
 
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -537,6 +690,12 @@ type ServerStats struct {
 	// InflightCells is the number of synchronous cell requests currently
 	// holding an admission slot.
 	InflightCells int `json:"inflight_cells"`
+	// Draining reports whether the server has begun its shutdown drain
+	// (POST endpoints refuse new work with 503).
+	Draining bool `json:"draining"`
+	// Workers holds per-worker dispatch counters on a coordinator (absent
+	// on a single-node server).
+	Workers []WorkerStatus `json:"workers,omitempty"`
 	// Endpoints summarizes request latency per endpoint label.
 	Endpoints []LatencySummary `json:"endpoints"`
 	// Tiers summarizes successful cell-request latency per cache tier.
@@ -552,6 +711,8 @@ func (s *Server) serverStats() ServerStats {
 		QueuedJobs:    queued,
 		RunningJobs:   running,
 		InflightCells: len(s.cellSem),
+		Draining:      s.draining.Load(),
+		Workers:       s.workerStatuses(),
 		Endpoints:     s.metrics.EndpointSummaries(),
 		Tiers:         s.metrics.TierSummaries(),
 	}
@@ -586,8 +747,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		QueuedJobs:    queued,
 		RunningJobs:   running,
 		InflightCells: len(s.cellSem),
+		Draining:      s.draining.Load(),
 		Cache:         s.cache.Stats(),
 		Cohorts:       cohorts,
 		Adaptive:      adaptive,
+		Workers:       s.workerStatuses(),
 	})
 }

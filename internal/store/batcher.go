@@ -1,0 +1,182 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Batcher defaults: a batch commits when it reaches DefaultBatchSize items
+// or DefaultBatchDelay after its first item, whichever comes first. The
+// delay bounds the latency a lone write pays for batching; the size bounds
+// commit fan-in under a hot campaign.
+const (
+	DefaultBatchSize  = 64
+	DefaultBatchDelay = 2 * time.Millisecond
+)
+
+// putReq is one caller's pending write: the item plus the response channel
+// the commit outcome is delivered on. The caller blocks on resp, so Put
+// keeps its synchronous error contract (a full-disk or unreachable-remote
+// commit surfaces to the very caller whose result was dropped) while the
+// backend sees coalesced batches.
+type putReq struct {
+	item Item
+	resp chan error
+}
+
+// Batcher coalesces Put calls from many goroutines into PutBatch commits
+// on the wrapped store. Reads pass through. A Batcher is itself a
+// ResultStore, so it can sit transparently in front of any backend; in
+// front of a Remote it turns a campaign's per-cell writes into a few HTTP
+// round-trips.
+type Batcher struct {
+	inner    ResultStore
+	maxBatch int
+	maxDelay time.Duration
+
+	reqs    chan putReq
+	flushCh chan chan error
+	done    chan struct{}
+
+	mu     sync.RWMutex // guards closed against in-flight Put/Flush sends
+	closed bool
+}
+
+// NewBatcher wraps inner. maxBatch <= 0 selects DefaultBatchSize,
+// maxDelay <= 0 DefaultBatchDelay.
+func NewBatcher(inner ResultStore, maxBatch int, maxDelay time.Duration) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = DefaultBatchSize
+	}
+	if maxDelay <= 0 {
+		maxDelay = DefaultBatchDelay
+	}
+	b := &Batcher{
+		inner:    inner,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		reqs:     make(chan putReq, maxBatch),
+		flushCh:  make(chan chan error),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// loop is the single committer goroutine: it accumulates requests into a
+// batch, commits on size or delay, and answers every caller individually.
+func (b *Batcher) loop() {
+	var batch []putReq
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	commit := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeout = nil, nil
+		}
+		if len(batch) == 0 {
+			return
+		}
+		items := make([]Item, len(batch))
+		for i, r := range batch {
+			items[i] = r.item
+		}
+		err := b.inner.PutBatch(items)
+		for _, r := range batch {
+			r.resp <- err
+		}
+		batch = nil
+	}
+	for {
+		select {
+		case req, ok := <-b.reqs:
+			if !ok {
+				commit()
+				close(b.done)
+				return
+			}
+			batch = append(batch, req)
+			if len(batch) >= b.maxBatch {
+				commit()
+				continue
+			}
+			if timeout == nil {
+				timer = time.NewTimer(b.maxDelay)
+				timeout = timer.C
+			}
+		case <-timeout:
+			commit()
+		case fc := <-b.flushCh:
+			// A flush is a barrier: commit what is buffered, then flush
+			// the backend itself.
+			commit()
+			fc <- b.inner.Flush()
+		}
+	}
+}
+
+// Put implements ResultStore: the write joins the current batch and the
+// call blocks until that batch commits, returning the commit error.
+func (b *Batcher) Put(key string, value []byte) error {
+	resp := make(chan error, 1)
+	// The read lock covers only the closed check and the enqueue — not the
+	// wait for the commit — so Close (write lock) can proceed and flush the
+	// batch this Put is waiting on.
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return fmt.Errorf("store: put on closed batcher")
+	}
+	b.reqs <- putReq{item: Item{Key: key, Value: value}, resp: resp}
+	b.mu.RUnlock()
+	return <-resp
+}
+
+// PutBatch implements ResultStore: already-batched writes skip the
+// coalescing window and commit directly.
+func (b *Batcher) PutBatch(items []Item) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return fmt.Errorf("store: put on closed batcher")
+	}
+	return b.inner.PutBatch(items)
+}
+
+// Get implements ResultStore (reads pass through; a caller's own Put has
+// always committed by the time Put returned).
+func (b *Batcher) Get(key string) ([]byte, error) { return b.inner.Get(key) }
+
+// GetBatch implements ResultStore.
+func (b *Batcher) GetBatch(keys []string) (map[string][]byte, error) { return b.inner.GetBatch(keys) }
+
+// Flush implements ResultStore: commit the buffered batch and flush the
+// backend. Puts already accepted when Flush is called are committed; the
+// caller observes the backend's flush error.
+func (b *Batcher) Flush() error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil
+	}
+	fc := make(chan error, 1)
+	b.flushCh <- fc
+	return <-fc
+}
+
+// Close implements ResultStore: commit everything buffered, stop the
+// committer and close the backend. Concurrent Puts either commit or
+// observe the closed error; none are silently dropped.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	close(b.reqs) // no Put holds the send path: they need the read lock
+	b.mu.Unlock()
+	<-b.done
+	return b.inner.Close()
+}

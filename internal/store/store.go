@@ -1,0 +1,53 @@
+// Package store is the pluggable result-store layer behind the campaign
+// cell cache: a keyed blob store holding one serialized cell entry per
+// content hash. Three backends share one interface — an in-memory map, the
+// content-hashed on-disk layout the cache has always used (byte- and
+// key-compatible, so existing warm caches survive), and an HTTP client
+// speaking a small batch GET/PUT API (Handler serves it) — plus a write
+// Batcher that coalesces Puts from many goroutines into batched commits
+// with a response channel per caller.
+//
+// The store deliberately knows nothing about cell semantics: keys are
+// opaque hex hashes, values are opaque bytes. Verification (decoding an
+// entry and re-checking its spec against the hash) stays in the caller, so
+// a corrupt value degrades to a cache miss there, never to a wrong result.
+package store
+
+import "errors"
+
+// ErrNotFound reports a key with no stored value. Backends return it from
+// Get; GetBatch simply omits missing keys.
+var ErrNotFound = errors.New("store: key not found")
+
+// Item is one key/value pair of a batched write.
+type Item struct {
+	// Key is the cell content hash (lowercase hex).
+	Key string `json:"key"`
+	// Value is the serialized cell entry. It marshals as base64 in the
+	// remote protocol.
+	Value []byte `json:"value"`
+}
+
+// ResultStore is a keyed blob store for executed cell results. All methods
+// are safe for concurrent use.
+type ResultStore interface {
+	// Get returns the value stored under key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Put stores value under key, overwriting any previous value. Values
+	// for one key are always identical (content-addressed), so overwrites
+	// are idempotent.
+	Put(key string, value []byte) error
+	// GetBatch returns the stored values of the given keys; missing keys
+	// are omitted, not errors.
+	GetBatch(keys []string) (map[string][]byte, error)
+	// PutBatch stores every item. A non-nil error means the batch may be
+	// partially applied; content addressing makes retries safe.
+	PutBatch(items []Item) error
+	// Flush forces any buffered writes to the backing medium and returns
+	// the first commit error. Direct backends buffer nothing and return
+	// nil.
+	Flush() error
+	// Close flushes and releases the store. The store must not be used
+	// afterwards.
+	Close() error
+}

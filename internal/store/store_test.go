@@ -1,0 +1,337 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// backends enumerates every ResultStore implementation under one
+// conformance suite. The factory returns a fresh store and a cleanup.
+func backends(t *testing.T) map[string]func(t *testing.T) ResultStore {
+	return map[string]func(t *testing.T) ResultStore{
+		"memory": func(t *testing.T) ResultStore { return NewMemory() },
+		"disk": func(t *testing.T) ResultStore {
+			return NewDisk(t.TempDir())
+		},
+		"remote": func(t *testing.T) ResultStore {
+			srv := httptest.NewServer(Handler(NewMemory()))
+			t.Cleanup(srv.Close)
+			return NewRemote(srv.URL, srv.Client())
+		},
+		"batcher-disk": func(t *testing.T) ResultStore {
+			b := NewBatcher(NewDisk(t.TempDir()), 4, time.Millisecond)
+			t.Cleanup(func() { b.Close() })
+			return b
+		},
+		"batcher-remote": func(t *testing.T) ResultStore {
+			srv := httptest.NewServer(Handler(NewMemory()))
+			t.Cleanup(srv.Close)
+			b := NewBatcher(NewRemote(srv.URL, srv.Client()), 8, time.Millisecond)
+			t.Cleanup(func() { b.Close() })
+			return b
+		},
+	}
+}
+
+// key returns a plausible cell hash (the disk layout shards on the first
+// two characters, so keys must be at least that long).
+func key(i int) string { return fmt.Sprintf("%02x%060d", i%256, i) }
+
+// TestConformance runs every backend through the shared contract:
+// round-trip, overwrite idempotence, ErrNotFound, batch get/put with
+// missing keys omitted, and value isolation.
+func TestConformance(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+
+			if _, err := s.Get(key(1)); err != ErrNotFound {
+				t.Fatalf("get of missing key: err %v, want ErrNotFound", err)
+			}
+
+			want := []byte(`{"v":1,"result":{"waste":0.25}}` + "\n")
+			if err := s.Put(key(1), want); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			got, err := s.Get(key(1))
+			if err != nil {
+				t.Fatalf("get: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round-trip: got %q want %q", got, want)
+			}
+
+			// Overwrites are idempotent (content-addressed values).
+			if err := s.Put(key(1), want); err != nil {
+				t.Fatalf("overwrite: %v", err)
+			}
+
+			// Mutating what Get returned must not corrupt the store.
+			got[0] = 'X'
+			again, err := s.Get(key(1))
+			if err != nil || !bytes.Equal(again, want) {
+				t.Fatalf("after caller mutation: %q, %v", again, err)
+			}
+
+			// Batch put, then batch get over present and missing keys.
+			items := []Item{
+				{Key: key(2), Value: []byte("two")},
+				{Key: key(3), Value: []byte("three")},
+			}
+			if err := s.PutBatch(items); err != nil {
+				t.Fatalf("put batch: %v", err)
+			}
+			batch, err := s.GetBatch([]string{key(2), key(99), key(3)})
+			if err != nil {
+				t.Fatalf("get batch: %v", err)
+			}
+			if len(batch) != 2 || string(batch[key(2)]) != "two" || string(batch[key(3)]) != "three" {
+				t.Fatalf("get batch: %v", batch)
+			}
+			if _, ok := batch[key(99)]; ok {
+				t.Fatal("missing key present in batch result")
+			}
+
+			if err := s.Flush(); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+		})
+	}
+}
+
+// TestDiskLayoutCompatibility pins the on-disk layout byte for byte: the
+// historical cache wrote dir/<hash[:2]>/<hash>.json with the value as the
+// exact file contents, and both old->new and new->old reads must work.
+func TestDiskLayoutCompatibility(t *testing.T) {
+	dir := t.TempDir()
+	s := NewDisk(dir)
+	h := strings.Repeat("ab", 32)
+	val := []byte(`{"v":1}` + "\n")
+
+	// A file written by the pre-store code (plain WriteFile in the sharded
+	// path) must be visible through the store.
+	legacy := filepath.Join(dir, h[:2], h+".json")
+	if err := os.MkdirAll(filepath.Dir(legacy), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legacy, val, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(h)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("legacy read: %q, %v", got, err)
+	}
+
+	// A store write must land in exactly the same path with exactly the
+	// value bytes.
+	h2 := strings.Repeat("cd", 32)
+	if err := s.Put(h2, val); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, h2[:2], h2+".json"))
+	if err != nil || !bytes.Equal(data, val) {
+		t.Fatalf("layout: %q, %v", data, err)
+	}
+}
+
+// countingStore wraps Memory and counts PutBatch commits and items.
+type countingStore struct {
+	*Memory
+	commits atomic.Int64
+	items   atomic.Int64
+	fail    atomic.Bool
+}
+
+func (c *countingStore) PutBatch(items []Item) error {
+	if c.fail.Load() {
+		return fmt.Errorf("injected commit failure")
+	}
+	c.commits.Add(1)
+	c.items.Add(int64(len(items)))
+	return c.Memory.PutBatch(items)
+}
+
+// TestBatcherCoalesces drives many concurrent Puts through a Batcher and
+// asserts they commit in strictly fewer batches than items, every caller
+// sees success, and every value is durably stored.
+func TestBatcherCoalesces(t *testing.T) {
+	inner := &countingStore{Memory: NewMemory()}
+	b := NewBatcher(inner, 16, 5*time.Millisecond)
+	defer b.Close()
+
+	const n = 128
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = b.Put(key(i), []byte(fmt.Sprintf("v%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if got := inner.items.Load(); got != n {
+		t.Fatalf("committed items %d, want %d", got, n)
+	}
+	if commits := inner.commits.Load(); commits >= n {
+		t.Fatalf("batcher did not coalesce: %d commits for %d items", commits, n)
+	}
+	for i := 0; i < n; i++ {
+		v, err := b.Get(key(i))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %d: %q, %v", i, v, err)
+		}
+	}
+}
+
+// TestBatcherDeliversCommitErrorToEveryCaller pins the response-channel
+// contract: when the backend commit fails, every caller in that batch sees
+// the error (not just the one that triggered the flush).
+func TestBatcherDeliversCommitErrorToEveryCaller(t *testing.T) {
+	inner := &countingStore{Memory: NewMemory()}
+	inner.fail.Store(true)
+	b := NewBatcher(inner, 4, time.Millisecond)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = b.Put(key(i), []byte("x"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("put %d succeeded despite failing backend", i)
+		}
+	}
+}
+
+// TestBatcherCloseFlushes pins shutdown semantics: Close commits what is
+// buffered, and late Puts get an explicit error instead of a lost write.
+func TestBatcherCloseFlushes(t *testing.T) {
+	inner := &countingStore{Memory: NewMemory()}
+	// Huge delay and batch: nothing would commit without Close's flush.
+	b := NewBatcher(inner, 1024, time.Hour)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := b.Put(key(i), []byte("x")); err != nil {
+				t.Errorf("put %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Give the puts a moment to enqueue, then close underneath them.
+	time.Sleep(10 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	if got := inner.items.Load(); got != 8 {
+		t.Fatalf("committed items %d, want 8", got)
+	}
+	if err := b.Put(key(100), []byte("late")); err == nil {
+		t.Fatal("put after close succeeded")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestBatcherFlushBarrier: Flush returns only after previously accepted
+// puts are committed.
+func TestBatcherFlushBarrier(t *testing.T) {
+	inner := &countingStore{Memory: NewMemory()}
+	b := NewBatcher(inner, 1024, time.Hour)
+	defer b.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := b.Put(key(1), []byte("x")); err != nil {
+			t.Errorf("put: %v", err)
+		}
+	}()
+	// Wait until the put is enqueued (the loop has it buffered).
+	deadline := time.Now().Add(time.Second)
+	for inner.items.Load() == 0 {
+		if err := b.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("put never committed")
+		}
+	}
+	<-done
+	if _, err := inner.Get(key(1)); err != nil {
+		t.Fatalf("value not durable after flush: %v", err)
+	}
+}
+
+// TestRemoteErrors covers the client's non-2xx and malformed-batch paths.
+func TestRemoteErrors(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewMemory()))
+	defer srv.Close()
+	r := NewRemote(srv.URL+"/", srv.Client()) // trailing slash is trimmed
+
+	if err := r.Put("k0", []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if v, err := r.Get("k0"); err != nil || string(v) != "v" {
+		t.Fatalf("get: %q, %v", v, err)
+	}
+
+	// An empty key in a batch is rejected server-side and surfaces as a
+	// client error naming the status.
+	if err := r.PutBatch([]Item{{Key: "", Value: []byte("v")}}); err == nil {
+		t.Fatal("empty-key batch accepted")
+	} else if !strings.Contains(err.Error(), "400") {
+		t.Fatalf("error does not carry the status: %v", err)
+	}
+
+	// A dead endpoint surfaces as a transport error, not a panic.
+	dead := NewRemote("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond})
+	if _, err := dead.Get("k"); err == nil {
+		t.Fatal("get against dead endpoint succeeded")
+	}
+	if err := dead.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandlerRejectsOversizedBatch pins the serving-side batch cap.
+func TestHandlerRejectsOversizedBatch(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewMemory()))
+	defer srv.Close()
+	// The client chunks at MaxBatchItems, so drive the handler directly
+	// with one key too many.
+	resp, err := srv.Client().Post(srv.URL+"/get", "application/json",
+		strings.NewReader(`{"keys":[`+strings.Repeat(`"ab",`, MaxBatchItems)+`"ab"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+}
