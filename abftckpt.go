@@ -166,6 +166,75 @@ func SimulateAdaptiveFromTrace(cfg SimConfig, tr *TraceArena, prec SimPrecision)
 	return sim.SimulateAdaptiveFromTrace(cfg, tr, prec)
 }
 
+// SilentRecovery selects how a verified-pattern protocol recovers from a
+// detected silent error: backward rollback or forward ABFT-style
+// correction.
+type SilentRecovery = model.SilentRecovery
+
+// The two silent-error recovery modes.
+const (
+	SilentBackward = model.SilentBackward
+	SilentForward  = model.SilentForward
+)
+
+// SilentParams gathers the silent-error protocol parameters: work,
+// mean time between silent errors, verification/checkpoint/recovery
+// costs, forward-correction cost and detection latency.
+type SilentParams = model.SilentParams
+
+// SilentResult is the model prediction for one silent-error
+// configuration.
+type SilentResult = model.SilentResult
+
+// PredictSilent evaluates the silent-error waste model for one recovery
+// mode; a zero Period picks the mode's optimal period.
+func PredictSilent(mode SilentRecovery, p SilentParams) SilentResult {
+	return model.EvaluateSilent(mode, p)
+}
+
+// SilentOptimalPeriod returns the first-order optimal verification period
+// for the given recovery mode.
+func SilentOptimalPeriod(mode SilentRecovery, p SilentParams) float64 {
+	return model.SilentOptimalPeriod(mode, p)
+}
+
+// SimSilentConfig configures the silent-error simulator (see
+// sim.SilentConfig).
+type SimSilentConfig = sim.SilentConfig
+
+// SimulateSilent runs the silent-error Monte-Carlo simulator: Reps
+// executions under exponential error injection with periodic
+// verification, aggregated like Simulate.
+func SimulateSilent(cfg SimSilentConfig) SimAggregate {
+	return sim.SimulateSilent(cfg)
+}
+
+// MultiLevelParams gathers the two-level checkpointing parameters: fast
+// level-1 and slow level-2 costs, the level-1 failure coverage, and the
+// platform MTBF.
+type MultiLevelParams = model.MultiLevelParams
+
+// MultiLevelResult is the model prediction for one two-level
+// configuration, including the optimal period and level-2 interval K.
+type MultiLevelResult = model.MultiLevelResult
+
+// PredictMultiLevel evaluates the two-level checkpointing model,
+// optimizing the period and level-2 interval when unset.
+func PredictMultiLevel(p MultiLevelParams) MultiLevelResult {
+	return model.EvaluateMultiLevel(p)
+}
+
+// SimMultiLevelConfig configures the multi-level simulator (see
+// sim.MultiLevelConfig).
+type SimMultiLevelConfig = sim.MultiLevelConfig
+
+// SimulateMultiLevel runs the two-level checkpointing Monte-Carlo
+// simulator: failures draw a recovery level from the coverage lottery,
+// aggregated like Simulate.
+func SimulateMultiLevel(cfg SimMultiLevelConfig) SimAggregate {
+	return sim.SimulateMultiLevel(cfg)
+}
+
 // Fig7Params returns the paper's Figure 7 scenario: a one-week epoch with
 // C = R = 10 min, D = 1 min, rho = 0.8, phi = 1.03, ReconsABFT = 2 s.
 func Fig7Params(mtbf, alpha float64) Params {

@@ -82,6 +82,41 @@ func TestFacadeDistributions(t *testing.T) {
 	}
 }
 
+func TestFacadeSilent(t *testing.T) {
+	p := SilentParams{
+		W: 100_000, MuSilent: Hour,
+		V: 60, C: 120, R: 120, F: 30, Detect: 10,
+	}
+	for _, mode := range []SilentRecovery{SilentBackward, SilentForward} {
+		res := PredictSilent(mode, p)
+		if res.Waste <= 0 || res.Waste >= 1 {
+			t.Fatalf("%v: implausible waste %v", mode, res.Waste)
+		}
+		if got := SilentOptimalPeriod(mode, p); math.Abs(got-res.Period) > 1e-9 {
+			t.Errorf("%v: optimal period %v but result used %v", mode, got, res.Period)
+		}
+		agg := SimulateSilent(SimSilentConfig{Params: p, Mode: mode, Reps: 60, Seed: 3})
+		if math.Abs(agg.Waste.Mean-res.Waste) > 0.05 {
+			t.Errorf("%v: sim %v vs model %v", mode, agg.Waste.Mean, res.Waste)
+		}
+	}
+}
+
+func TestFacadeMultiLevel(t *testing.T) {
+	p := MultiLevelParams{
+		W: Week, Mu: 50_000, D: 60,
+		C1: 30, R1: 30, C2: 600, R2: 600, Coverage: 0.8,
+	}
+	res := PredictMultiLevel(p)
+	if !res.Feasible || res.K <= 0 || res.Period <= 0 {
+		t.Fatalf("implausible schedule: %+v", res)
+	}
+	agg := SimulateMultiLevel(SimMultiLevelConfig{Params: p, Reps: 60, Seed: 4})
+	if math.Abs(agg.Waste.Mean-res.Waste) > 0.05 {
+		t.Errorf("sim %v vs model %v", agg.Waste.Mean, res.Waste)
+	}
+}
+
 func TestFacadeSimulateWorkerInvariance(t *testing.T) {
 	p := Fig7Params(2*Hour, 0.5)
 	base := SimConfig{Params: p, Protocol: BiPeriodicCkpt, Reps: 24, Seed: 6}

@@ -6,8 +6,9 @@
 // builds figures.PaperCampaign (the whole Section V evaluation as scenario
 // specs) and runs it through the internal/scenario engine. With -cache the
 // engine reuses every cell it has already computed, so reruns are
-// incremental. cmd/ftcampaign runs the same engine on arbitrary JSON
-// campaign files.
+// incremental. -family selects the companion evaluations instead: "silent"
+// (silent-error heatmaps) or "multilevel" (two-level checkpointing).
+// cmd/ftcampaign runs the same engine on arbitrary JSON campaign files.
 //
 // Example:
 //
@@ -35,12 +36,23 @@ func main() {
 	skipSim := flag.Bool("model-only", false, "skip the simulation-based heatmaps and tables")
 	cache := flag.String("cache", "", "cell cache directory (empty: no caching)")
 	workers := flag.Int("workers", 0, "cell-level parallelism (0: NumCPU)")
+	family := flag.String("family", "paper", "evaluation family: paper (Section V), silent (silent-error heatmaps), multilevel (two-level checkpointing)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	campaign := figures.PaperCampaign(*reps, *seed, !*skipSim)
+	var campaign *scenario.Campaign
+	switch *family {
+	case "paper":
+		campaign = figures.PaperCampaign(*reps, *seed, !*skipSim)
+	case "silent":
+		campaign = figures.SilentCampaign(*reps, *seed, !*skipSim)
+	case "multilevel":
+		campaign = figures.MultiLevelCampaign(*reps, *seed, !*skipSim)
+	default:
+		fatal(fmt.Errorf("unknown -family %q (want paper, silent or multilevel)", *family))
+	}
 	var writeErr error
 	runner := scenario.Runner{
 		CacheDir: *cache,

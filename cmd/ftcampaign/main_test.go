@@ -192,3 +192,62 @@ func TestRunSmallCampaign(t *testing.T) {
 		t.Errorf("rerun summary not cached: %s", stdout)
 	}
 }
+
+// TestValidateExamples validates every committed example campaign (what the
+// CI docs job runs).
+func TestValidateExamples(t *testing.T) {
+	matches, err := filepath.Glob("../../examples/campaigns/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 4 {
+		t.Fatalf("found only %d example campaigns: %v", len(matches), matches)
+	}
+	for _, path := range matches {
+		code, stdout, stderr := runCmd(t, "-spec", path, "-validate")
+		if code != 0 {
+			t.Errorf("%s: exit %d, stderr: %s", path, code, stderr)
+		}
+		if !strings.Contains(stdout, "OK") {
+			t.Errorf("%s: validate output: %s", path, stdout)
+		}
+	}
+}
+
+// TestRunSilentMLCampaign runs the silent-error and multi-level scenario
+// kinds end to end through the CLI on reduced grids.
+func TestRunSilentMLCampaign(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "c.json")
+	const js = `{
+	  "name": "silentml",
+	  "seed": 3,
+	  "reps": 5,
+	  "scenarios": [
+	    {"name": "sh", "kind": "silent_heatmap", "output": "diff", "recovery": "forward",
+	     "mtbe_minutes": {"values": [60, 240]}, "verify_costs": {"values": [30, 300]}},
+	    {"name": "ml", "kind": "multilevel_scaling",
+	     "nodes": {"values": [1000, 100000]},
+	     "ml_series": [{"name": "two-level", "mtbf_at_base": 315576000,
+	                    "c1": 30, "r1": 30, "c2": 600, "r2": 600, "coverage": 0.8}]}
+	  ]
+	}`
+	if err := os.WriteFile(spec, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out")
+	code, stdout, stderr := runCmd(t, "-spec", spec, "-out", out)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"wrote sh (heatmap)", "wrote ml_waste (chart)", "wrote ml_schedule (table)"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	for _, f := range []string{"sh.csv", "ml_waste.csv", "ml_schedule.csv", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+}

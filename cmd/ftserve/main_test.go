@@ -118,6 +118,24 @@ func TestServeEndToEnd(t *testing.T) {
 			t.Errorf("cell request %d: X-Cache %q, want %q", i, got, want)
 		}
 	}
+
+	// The silent-error and multi-level cell ops are served too.
+	for _, cell := range []string{
+		`{"op": "silent_model", "silent": {"recovery": "backward",
+		  "params": {"W": 100000, "MuSilent": 3600, "V": 60, "C": 120, "R": 120, "Detect": 10}}}`,
+		`{"op": "ml_model", "multilevel": {"W": 604800, "Mu": 50000, "D": 60,
+		  "C1": 30, "R1": 30, "C2": 600, "R2": 600, "Coverage": 0.8}}`,
+	} {
+		resp, err := http.Post(base+"/v1/cells", "application/json", strings.NewReader(cell))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "waste") {
+			t.Errorf("cell %s: code %d body %s", cell, resp.StatusCode, body)
+		}
+	}
 }
 
 // The profiling endpoints exist only behind -pprof: campaign hot spots can

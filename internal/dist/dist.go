@@ -301,10 +301,86 @@ func (e *Empirical) String() string {
 	return fmt.Sprintf("Empirical(n=%d, mtbf=%g)", len(e.samples), e.mean)
 }
 
+// CascadeBurstRatio is the burst-to-quiet mean ratio of the Cascade law:
+// failures inside a burst follow each other two orders of magnitude faster
+// than quiet-regime failures, the scale separation reported for correlated
+// failure cascades (a switch or PDU taking down many nodes in minutes) in
+// HPC failure logs.
+const CascadeBurstRatio = 0.01
+
+// Cascade models correlated failure bursts as a hyperexponential mixture:
+// with probability prob the next inter-arrival is drawn from a fast "burst"
+// exponential (mean CascadeBurstRatio times the quiet mean) — a follow-on
+// failure triggered by the previous one — and otherwise from the quiet
+// exponential. The mixture stays a renewal process, so every consumer of a
+// Distribution (simulation cells, trace arenas, cohort replay) handles it
+// unchanged, while the variance and burstiness grow far beyond the
+// exponential baseline at the same MTBF.
+type Cascade struct {
+	prob             float64
+	muBurst, muQuiet float64
+	mean             float64
+}
+
+// NewCascade returns the cascade mixture with the given burst probability
+// and regime means.
+func NewCascade(prob, muBurst, muQuiet float64) Cascade {
+	if !(prob > 0 && prob < 1) {
+		panic(fmt.Sprintf("dist: Cascade needs burst probability in (0,1), got %v", prob))
+	}
+	requirePositive("Cascade", "muBurst", muBurst)
+	requirePositive("Cascade", "muQuiet", muQuiet)
+	return Cascade{prob: prob, muBurst: muBurst, muQuiet: muQuiet,
+		mean: prob*muBurst + (1-prob)*muQuiet}
+}
+
+// CascadeWithMTBF returns the cascade mixture of the given burst
+// probability whose mean is exactly mtbf: the quiet mean is solved from
+// prob*CascadeBurstRatio + (1-prob) and the burst mean is CascadeBurstRatio
+// times it.
+func CascadeWithMTBF(prob, mtbf float64) Cascade {
+	requirePositive("Cascade", "mtbf", mtbf)
+	if !(prob > 0 && prob < 1) {
+		panic(fmt.Sprintf("dist: Cascade needs burst probability in (0,1), got %v", prob))
+	}
+	quiet := mtbf / (1 - prob + prob*CascadeBurstRatio)
+	c := NewCascade(prob, CascadeBurstRatio*quiet, quiet)
+	c.mean = mtbf // exact by construction
+	return c
+}
+
+// Prob returns the burst probability.
+func (c Cascade) Prob() float64 { return c.prob }
+
+// Sample draws the regime, then an exponential variate of its mean.
+func (c Cascade) Sample(src *rng.Source) float64 {
+	mu := c.muQuiet
+	if src.Float64() < c.prob {
+		mu = c.muBurst
+	}
+	return -mu * math.Log(src.Float64Open())
+}
+
+// Mean returns prob*muBurst + (1-prob)*muQuiet.
+func (c Cascade) Mean() float64 { return c.mean }
+
+// CDF returns the probability-weighted mixture of the regime CDFs.
+func (c Cascade) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -(c.prob*math.Expm1(-x/c.muBurst) + (1-c.prob)*math.Expm1(-x/c.muQuiet))
+}
+
+func (c Cascade) String() string {
+	return fmt.Sprintf("Cascade(prob=%g, mtbf=%g)", c.prob, c.mean)
+}
+
 // Family resolves a distribution family by name into an MTBF-parameterized
-// constructor, for command-line selection. shape is the Weibull/gamma shape k
-// or the log-normal sigma; it is ignored for the exponential family.
-// Recognized names: "exp"/"exponential", "weibull", "lognormal", "gamma".
+// constructor, for command-line selection. shape is the Weibull/gamma shape
+// k, the log-normal sigma, or the cascade burst probability; it is ignored
+// for the exponential family. Recognized names: "exp"/"exponential",
+// "weibull", "lognormal", "gamma", "cascade".
 func Family(name string, shape float64) (func(mtbf float64) Distribution, error) {
 	switch name {
 	case "exp", "exponential":
@@ -324,6 +400,11 @@ func Family(name string, shape float64) (func(mtbf float64) Distribution, error)
 			return nil, fmt.Errorf("dist: gamma needs shape > 0, got %g", shape)
 		}
 		return func(mtbf float64) Distribution { return GammaWithMTBF(shape, mtbf) }, nil
+	case "cascade":
+		if !(shape > 0 && shape < 1) {
+			return nil, fmt.Errorf("dist: cascade needs burst probability in (0,1), got %g", shape)
+		}
+		return func(mtbf float64) Distribution { return CascadeWithMTBF(shape, mtbf) }, nil
 	}
-	return nil, fmt.Errorf("dist: unknown family %q (exp|weibull|lognormal|gamma)", name)
+	return nil, fmt.Errorf("dist: unknown family %q (exp|weibull|lognormal|gamma|cascade)", name)
 }

@@ -36,6 +36,8 @@ func catalogue() []Distribution {
 		GammaWithMTBF(0.5, 100),
 		GammaWithMTBF(1.0, 100),
 		GammaWithMTBF(3.0, 100),
+		CascadeWithMTBF(0.05, 100),
+		CascadeWithMTBF(0.3, 100),
 		NewEmpirical(empiricalBase()),
 	}
 }
@@ -122,6 +124,11 @@ func TestMTBFNormalizationExact(t *testing.T) {
 			}
 			if got := LogNormalWithMTBF(k, mtbf).Mean(); got != mtbf {
 				t.Errorf("LogNormal(sigma=%g): Mean() = %v, want exactly %v", k, got, mtbf)
+			}
+		}
+		for _, prob := range []float64{0.01, 0.1, 0.5, 0.9} {
+			if got := CascadeWithMTBF(prob, mtbf).Mean(); got != mtbf {
+				t.Errorf("Cascade(prob=%g): Mean() = %v, want exactly %v", prob, got, mtbf)
 			}
 		}
 		if got := NewExponential(mtbf).Mean(); got != mtbf {
@@ -249,6 +256,12 @@ func TestConstructorPanics(t *testing.T) {
 		func() { NewGamma(-1, 1) },
 		func() { NewGamma(1, -1) },
 		func() { GammaWithMTBF(2, 0) },
+		func() { NewCascade(0, 1, 100) },
+		func() { NewCascade(1, 1, 100) },
+		func() { NewCascade(0.5, 0, 100) },
+		func() { NewCascade(0.5, 1, -100) },
+		func() { CascadeWithMTBF(0.5, 0) },
+		func() { CascadeWithMTBF(-0.1, 100) },
 		func() { NewEmpirical(nil) },
 		func() { NewEmpirical([]float64{1, -2}) },
 		func() { NewEmpirical([]float64{1, math.NaN()}) },
@@ -275,6 +288,7 @@ func TestStringNames(t *testing.T) {
 		{WeibullWithMTBF(0.7, 100), "Weibull"},
 		{LogNormalWithMTBF(1, 100), "LogNormal"},
 		{GammaWithMTBF(2, 100), "Gamma"},
+		{CascadeWithMTBF(0.1, 100), "Cascade"},
 		{NewEmpirical([]float64{1, 2}), "Empirical"},
 	}
 	seen := map[string]bool{}
@@ -301,6 +315,7 @@ func TestFamilySelection(t *testing.T) {
 		{"weibull", 0.7, "Weibull"},
 		{"lognormal", 1.2, "LogNormal"},
 		{"gamma", 2, "Gamma"},
+		{"cascade", 0.15, "Cascade"},
 	} {
 		mk, err := Family(c.name, c.shape)
 		if err != nil {
@@ -319,6 +334,7 @@ func TestFamilySelection(t *testing.T) {
 		shape float64
 	}{
 		{"uniform", 1}, {"weibull", 0}, {"lognormal", -1}, {"gamma", 0},
+		{"cascade", 0}, {"cascade", 1}, {"cascade", -0.5},
 	} {
 		if _, err := Family(c.name, c.shape); err == nil {
 			t.Errorf("Family(%q, %g): expected error", c.name, c.shape)

@@ -1,0 +1,153 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func mlBase() MultiLevelParams {
+	return MultiLevelParams{
+		W:        Week,
+		Mu:       6 * Hour,
+		D:        Minute,
+		C1:       30 * Second,
+		R1:       30 * Second,
+		C2:       10 * Minute,
+		R2:       10 * Minute,
+		Coverage: 0.85,
+	}
+}
+
+func TestMultiLevelValidate(t *testing.T) {
+	if err := mlBase().Validate(); err != nil {
+		t.Fatalf("valid multilevel params rejected: %v", err)
+	}
+	bad := []func(*MultiLevelParams){
+		func(p *MultiLevelParams) { p.W = 0 },
+		func(p *MultiLevelParams) { p.Mu = -1 },
+		func(p *MultiLevelParams) { p.Coverage = 1.5 },
+		func(p *MultiLevelParams) { p.C1, p.C2 = 0, 0 },
+		func(p *MultiLevelParams) { p.K = MaxMultiLevelK + 1 },
+		func(p *MultiLevelParams) { p.R2 = math.Inf(1) },
+	}
+	for i, mutate := range bad {
+		p := mlBase()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestEvaluateMultiLevelSanity checks the optimized schedule is concrete
+// and its prediction structurally sound.
+func TestEvaluateMultiLevelSanity(t *testing.T) {
+	r := EvaluateMultiLevel(mlBase())
+	if !r.Feasible {
+		t.Fatalf("benign platform infeasible: %+v", r)
+	}
+	if r.Period <= 0 || r.K < 1 {
+		t.Fatalf("schedule not concrete: period %v, k %d", r.Period, r.K)
+	}
+	if r.K == 1 {
+		t.Fatalf("expected multi-segment patterns with a 20x level cost gap, got k = 1")
+	}
+	if r.Waste <= 0 || r.Waste >= 1 {
+		t.Fatalf("waste %v outside (0,1)", r.Waste)
+	}
+	if r.TFinal <= mlBase().W || r.ExpectedFaults <= 0 {
+		t.Fatalf("inconsistent prediction: %+v", r)
+	}
+}
+
+// TestEvaluateMultiLevelOptimumBeatsGrid checks the reported schedule is no
+// worse than any fixed (period, k) on a grid around it.
+func TestEvaluateMultiLevelOptimumBeatsGrid(t *testing.T) {
+	p := mlBase()
+	opt := EvaluateMultiLevel(p)
+	for k := 1; k <= 30; k++ {
+		for frac := 0.25; frac <= 4; frac *= 1.25 {
+			fixed := p
+			fixed.K = k
+			fixed.Period = frac * opt.Period
+			if w := EvaluateMultiLevel(fixed).Waste; w < opt.Waste-1e-9 {
+				t.Fatalf("fixed schedule (k=%d, period=%v) waste %v beats optimum %v",
+					k, fixed.Period, w, opt.Waste)
+			}
+		}
+	}
+}
+
+// TestEvaluateMultiLevelSingleLevelReduction: with full level-1 coverage and
+// a free level 2, the model matches single-level periodic checkpointing.
+func TestEvaluateMultiLevelSingleLevelReduction(t *testing.T) {
+	p := mlBase()
+	p.Coverage = 1
+	p.C2, p.R2 = 0, 0
+	p.K = 1
+	r := EvaluateMultiLevel(p)
+	// Same first-order waste as PeriodicFactor at the same period (the
+	// period there includes the checkpoint).
+	x := PeriodicFactor(r.Period+p.C1, p.C1, p.Mu, p.D, p.R1)
+	if !almostEqual(r.Waste, 1-x, 1e-9) {
+		t.Fatalf("single-level reduction: waste %v, PeriodicFactor gives %v", r.Waste, 1-x)
+	}
+}
+
+// TestEvaluateMultiLevelCheaperThanSingleLevel: on a platform where most
+// failures are level-1 recoverable, the two-level schedule beats checkpointing
+// everything to the slow level.
+func TestEvaluateMultiLevelCheaperThanSingleLevel(t *testing.T) {
+	p := mlBase()
+	two := EvaluateMultiLevel(p)
+	single := p
+	single.C1, single.R1 = single.C2, single.R2 // every checkpoint pays L2
+	single.Coverage = 1
+	single.C2, single.R2 = 0, 0
+	sr := EvaluateMultiLevel(single)
+	if two.Waste >= sr.Waste {
+		t.Fatalf("two-level waste %v not below single slow level %v", two.Waste, sr.Waste)
+	}
+}
+
+// TestEvaluateMultiLevelInfeasible: failures faster than any recovery make
+// every schedule infeasible, and the result still carries a schedule.
+func TestEvaluateMultiLevelInfeasible(t *testing.T) {
+	p := mlBase()
+	p.Mu = 2 * Minute // below D + R2
+	r := EvaluateMultiLevel(p)
+	if r.Feasible {
+		t.Fatalf("infeasible platform reported feasible: %+v", r)
+	}
+	if !math.IsInf(r.TFinal, 1) || r.Waste != 1 {
+		t.Fatalf("infeasible result not saturated: %+v", r)
+	}
+	if r.Period <= 0 || r.K < 1 {
+		t.Fatalf("infeasible result lost its schedule: %+v", r)
+	}
+}
+
+// TestEvaluateMultiLevelFixedSchedule: fixing Period and K is honored.
+func TestEvaluateMultiLevelFixedSchedule(t *testing.T) {
+	p := mlBase()
+	p.Period = Hour
+	p.K = 7
+	r := EvaluateMultiLevel(p)
+	if r.Period != Hour || r.K != 7 {
+		t.Fatalf("fixed schedule not honored: %+v", r)
+	}
+}
+
+// TestEvaluateMultiLevelKGrowsWithCostGap: a wider C2/C1 gap pushes the
+// optimum toward more level-1 segments per pattern.
+func TestEvaluateMultiLevelKGrowsWithCostGap(t *testing.T) {
+	narrow := mlBase()
+	narrow.C2, narrow.R2 = 2*narrow.C1, 2*narrow.R1
+	wide := mlBase()
+	wide.C2, wide.R2 = 100*wide.C1, 100*wide.R1
+	kn := EvaluateMultiLevel(narrow).K
+	kw := EvaluateMultiLevel(wide).K
+	if kw <= kn {
+		t.Fatalf("k did not grow with the level cost gap: narrow %d, wide %d", kn, kw)
+	}
+}

@@ -1,0 +1,204 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// SilentRecovery selects how a detected silent error is repaired.
+type SilentRecovery int
+
+const (
+	// SilentBackward rolls back to the last verified checkpoint and
+	// re-executes the whole pattern (general-purpose checkpoint/restart
+	// against silent data corruption).
+	SilentBackward SilentRecovery = iota
+	// SilentForward corrects the corrupted state in place (ABFT-style, e.g.
+	// the checksum reconstruction of the Backward/Forward Recovery approach
+	// for PCG) and re-executes only the work tainted since the first error,
+	// under protection.
+	SilentForward
+)
+
+// SilentRecoveries lists both recovery modes in presentation order.
+var SilentRecoveries = []SilentRecovery{SilentBackward, SilentForward}
+
+// String returns the recovery mode's spec name ("backward" or "forward").
+func (m SilentRecovery) String() string {
+	switch m {
+	case SilentBackward:
+		return "backward"
+	case SilentForward:
+		return "forward"
+	default:
+		return fmt.Sprintf("SilentRecovery(%d)", int(m))
+	}
+}
+
+// ParseSilentRecovery resolves the spec names "backward" and "forward".
+func ParseSilentRecovery(s string) (SilentRecovery, error) {
+	switch s {
+	case "backward":
+		return SilentBackward, nil
+	case "forward":
+		return SilentForward, nil
+	default:
+		return 0, fmt.Errorf("model: unknown silent recovery %q (want backward or forward)", s)
+	}
+}
+
+// SilentParams gathers the inputs of the silent-error (SDC) model. The
+// execution is split into verified patterns: T seconds of error-prone work,
+// then a verification of cost V that detects (with certainty) whether any
+// silent error struck that work, then — only after a clean verification — a
+// checkpoint of cost C. Silent errors arrive as a Poisson process of mean
+// inter-arrival MuSilent on the work clock: verification, checkpointing and
+// recovery activities are assumed protected (replicated or checksummed), so
+// errors strike executing work only. All durations are in seconds.
+type SilentParams struct {
+	// W is the total useful work of the execution.
+	W float64
+	// MuSilent is the mean time between silent errors during work execution.
+	MuSilent float64
+	// V is the cost of one verification (always paid at pattern end).
+	V float64
+	// C is the cost of the checkpoint taken after a verified pattern.
+	C float64
+	// R is the cost of restoring the last verified checkpoint (backward
+	// recovery only).
+	R float64
+	// F is the cost of the in-place forward correction (forward recovery
+	// only), e.g. rebuilding the corrupted blocks from checksums.
+	F float64
+	// Detect is the detection latency charged when a verification flags an
+	// error (diagnosis, locating the corruption) before recovery starts.
+	Detect float64
+	// Period, when positive, fixes the work per pattern; 0 uses the
+	// first-order optimal period for the recovery mode.
+	Period float64
+}
+
+// Validate checks the parameters are usable.
+func (p SilentParams) Validate() error {
+	switch {
+	case p.W <= 0:
+		return fmt.Errorf("model: silent params need W > 0 (got %g)", p.W)
+	case p.MuSilent <= 0:
+		return fmt.Errorf("model: silent params need MuSilent > 0 (got %g)", p.MuSilent)
+	case p.V < 0 || p.C < 0 || p.R < 0 || p.F < 0 || p.Detect < 0:
+		return fmt.Errorf("model: silent costs must be non-negative")
+	case p.Period < 0:
+		return fmt.Errorf("model: silent period must be >= 0 (got %g)", p.Period)
+	case p.V+p.C <= 0:
+		return fmt.Errorf("model: silent params need V + C > 0 (a free pattern boundary has no optimal period)")
+	}
+	for _, v := range []float64{p.W, p.MuSilent, p.V, p.C, p.R, p.F, p.Detect, p.Period} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("model: silent params must be finite")
+		}
+	}
+	return nil
+}
+
+// SilentOptimalPeriod returns the first-order optimal work per verified
+// pattern. For backward recovery a pattern failure loses the whole pattern,
+// giving the Young-like optimum sqrt((V+C)*MuSilent); forward recovery
+// re-executes only the tainted half of the pattern on average, doubling the
+// optimum to sqrt(2*(V+C)*MuSilent).
+func SilentOptimalPeriod(mode SilentRecovery, p SilentParams) float64 {
+	switch mode {
+	case SilentForward:
+		return math.Sqrt(2 * (p.V + p.C) * p.MuSilent)
+	default:
+		return math.Sqrt((p.V + p.C) * p.MuSilent)
+	}
+}
+
+// SilentResult is the silent-error model's prediction.
+type SilentResult struct {
+	// Mode is the recovery mode evaluated.
+	Mode SilentRecovery
+	// Period is the work per verified pattern actually used (seconds).
+	Period float64
+	// Patterns is the number of verified patterns the work is split into.
+	Patterns int
+	// TFinal is the expected wall-clock execution time.
+	TFinal float64
+	// Waste = 1 - W/TFinal, in [0, 1).
+	Waste float64
+	// ExpectedDetections is the expected number of verifications that flag
+	// an error over the execution.
+	ExpectedDetections float64
+}
+
+// silentPattern returns the expected wall-clock cost and expected detections
+// of one verified pattern of t seconds of work under the given mode.
+//
+// Backward: pattern attempts are independent; one attempt costs t work plus
+// the verification V, succeeds with probability q = exp(-t/mu), and a failed
+// attempt additionally pays Detect + R before retrying. The number of failed
+// attempts is geometric with mean 1/q - 1, so
+//
+//	E = (1/q - 1)*(t + V + Detect + R) + (t + V) + C.
+//
+// Forward: the pattern is never re-attempted; with probability p = 1 - q the
+// verification detects corruption and the protocol pays Detect, the
+// correction F, and the protected re-execution of the work tainted since the
+// first error. With X the first arrival of the error process,
+//
+//	E[taint] = t - E[X | X <= t],  E[X | X <= t] = mu - t*q/(1 - q),
+//
+// so E = t + V + C + p*(Detect + F + E[taint]).
+func silentPattern(mode SilentRecovery, t float64, p SilentParams) (cost, detections float64) {
+	// pf = 1 - exp(-t/mu) via Expm1: the direct form loses all precision
+	// for t << mu, and the error is amplified by the taint cancellation.
+	pf := -math.Expm1(-t / p.MuSilent)
+	q := 1 - pf
+	switch mode {
+	case SilentForward:
+		taint := 0.0
+		if pf > 0 {
+			taint = t - (p.MuSilent - t*q/pf)
+			if taint < 0 {
+				taint = 0 // cancellation guard for t << mu
+			}
+		}
+		return t + p.V + p.C + pf*(p.Detect+p.F+taint), pf
+	default:
+		retries := pf / q
+		return retries*(t+p.V+p.Detect+p.R) + (t + p.V) + p.C, retries
+	}
+}
+
+// EvaluateSilent computes the silent-error model prediction: the work W is
+// split into ceil(W/Period) patterns (the last one shorter when Period does
+// not divide W), each evaluated with the exact renewal expectations of
+// silentPattern and summed. Under Poisson errors the prediction is the exact
+// expectation of the simulator's execution (sim.SimulateSilent), not a
+// first-order bound — only the default Period is a first-order optimum.
+func EvaluateSilent(mode SilentRecovery, p SilentParams) SilentResult {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	period := p.Period
+	if period <= 0 {
+		period = SilentOptimalPeriod(mode, p)
+	}
+	if period > p.W {
+		period = p.W
+	}
+	n := int(math.Ceil(p.W / period))
+	res := SilentResult{Mode: mode, Period: period, Patterns: n}
+	full, fullDet := silentPattern(mode, period, p)
+	res.TFinal = float64(n-1) * full
+	res.ExpectedDetections = float64(n-1) * fullDet
+	last := p.W - float64(n-1)*period
+	lastCost, lastDet := silentPattern(mode, last, p)
+	res.TFinal += lastCost
+	res.ExpectedDetections += lastDet
+	res.Waste = 1 - p.W/res.TFinal
+	if res.Waste < 0 {
+		res.Waste = 0
+	}
+	return res
+}

@@ -1,0 +1,183 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func silentBase() SilentParams {
+	return SilentParams{
+		W:        Week,
+		MuSilent: 12 * Hour,
+		V:        2 * Minute,
+		C:        10 * Minute,
+		R:        10 * Minute,
+		F:        30 * Second,
+		Detect:   10 * Second,
+	}
+}
+
+func TestParseSilentRecovery(t *testing.T) {
+	for _, mode := range SilentRecoveries {
+		got, err := ParseSilentRecovery(mode.String())
+		if err != nil || got != mode {
+			t.Fatalf("ParseSilentRecovery(%q) = %v, %v", mode.String(), got, err)
+		}
+	}
+	if _, err := ParseSilentRecovery("sideways"); err == nil {
+		t.Fatalf("ParseSilentRecovery accepted an unknown mode")
+	}
+}
+
+func TestSilentValidate(t *testing.T) {
+	if err := silentBase().Validate(); err != nil {
+		t.Fatalf("valid silent params rejected: %v", err)
+	}
+	bad := []func(*SilentParams){
+		func(p *SilentParams) { p.W = 0 },
+		func(p *SilentParams) { p.MuSilent = -1 },
+		func(p *SilentParams) { p.V = -1 },
+		func(p *SilentParams) { p.Detect = math.NaN() },
+		func(p *SilentParams) { p.Period = -5 },
+		func(p *SilentParams) { p.V, p.C = 0, 0 },
+	}
+	for i, mutate := range bad {
+		p := silentBase()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestEvaluateSilentSanity checks structural invariants of both modes.
+func TestEvaluateSilentSanity(t *testing.T) {
+	p := silentBase()
+	for _, mode := range SilentRecoveries {
+		r := EvaluateSilent(mode, p)
+		if r.Mode != mode {
+			t.Fatalf("%v: mode not echoed", mode)
+		}
+		if r.TFinal <= p.W {
+			t.Fatalf("%v: TFinal %v not above W %v", mode, r.TFinal, p.W)
+		}
+		if r.Waste <= 0 || r.Waste >= 1 {
+			t.Fatalf("%v: waste %v outside (0,1)", mode, r.Waste)
+		}
+		if r.Period <= 0 || r.Patterns != int(math.Ceil(p.W/r.Period)) {
+			t.Fatalf("%v: inconsistent period %v / patterns %d", mode, r.Period, r.Patterns)
+		}
+		if r.ExpectedDetections <= 0 {
+			t.Fatalf("%v: expected detections %v", mode, r.ExpectedDetections)
+		}
+	}
+}
+
+// TestEvaluateSilentErrorFreeLimit drives the error rate to zero: the
+// execution degenerates to work plus pattern overheads, with no detections.
+func TestEvaluateSilentErrorFreeLimit(t *testing.T) {
+	p := silentBase()
+	p.MuSilent = 1e18
+	p.Period = Day
+	for _, mode := range SilentRecoveries {
+		r := EvaluateSilent(mode, p)
+		n := math.Ceil(p.W / p.Period)
+		want := p.W + n*(p.V+p.C)
+		if !almostEqual(r.TFinal, want, 1e-9) {
+			t.Fatalf("%v: TFinal %v, want %v", mode, r.TFinal, want)
+		}
+		if r.ExpectedDetections > 1e-6 {
+			t.Fatalf("%v: phantom detections %v", mode, r.ExpectedDetections)
+		}
+	}
+}
+
+// TestEvaluateSilentBackwardRenewal pins the backward pattern cost to the
+// geometric-retry formula on a single pattern.
+func TestEvaluateSilentBackwardRenewal(t *testing.T) {
+	p := silentBase()
+	p.Period = p.W // single pattern
+	r := EvaluateSilent(SilentBackward, p)
+	q := math.Exp(-p.W / p.MuSilent)
+	want := (1/q-1)*(p.W+p.V+p.Detect+p.R) + p.W + p.V + p.C
+	if !almostEqual(r.TFinal, want, 1e-12) {
+		t.Fatalf("TFinal %v, want %v", r.TFinal, want)
+	}
+	if !almostEqual(r.ExpectedDetections, 1/q-1, 1e-12) {
+		t.Fatalf("detections %v, want %v", r.ExpectedDetections, 1/q-1)
+	}
+}
+
+// TestEvaluateSilentForwardRenewal pins the forward pattern cost to the
+// first-arrival taint formula on a single pattern.
+func TestEvaluateSilentForwardRenewal(t *testing.T) {
+	p := silentBase()
+	p.Period = p.W
+	r := EvaluateSilent(SilentForward, p)
+	q := math.Exp(-p.W / p.MuSilent)
+	pf := 1 - q
+	taint := p.W - (p.MuSilent - p.W*q/pf)
+	want := p.W + p.V + p.C + pf*(p.Detect+p.F+taint)
+	if !almostEqual(r.TFinal, want, 1e-12) {
+		t.Fatalf("TFinal %v, want %v", r.TFinal, want)
+	}
+}
+
+// TestSilentOptimalPeriodNearOptimal checks the closed-form period is within
+// a percent of the best fixed period on a fine grid, for both modes.
+func TestSilentOptimalPeriodNearOptimal(t *testing.T) {
+	p := silentBase()
+	for _, mode := range SilentRecoveries {
+		opt := EvaluateSilent(mode, p)
+		bestWaste := math.Inf(1)
+		for frac := 0.05; frac <= 8; frac *= 1.05 {
+			fixed := p
+			fixed.Period = frac * opt.Period
+			if w := EvaluateSilent(mode, fixed).Waste; w < bestWaste {
+				bestWaste = w
+			}
+		}
+		if opt.Waste > bestWaste+0.01 {
+			t.Fatalf("%v: closed-form waste %v far above grid best %v", mode, opt.Waste, bestWaste)
+		}
+	}
+}
+
+// TestEvaluateSilentForwardBeatsBackward checks that with a cheap correction
+// the forward mode wastes less than rollback at equal parameters.
+func TestEvaluateSilentForwardBeatsBackward(t *testing.T) {
+	p := silentBase()
+	p.MuSilent = 2 * Hour // error-dominated regime
+	fw := EvaluateSilent(SilentForward, p)
+	bw := EvaluateSilent(SilentBackward, p)
+	if fw.Waste >= bw.Waste {
+		t.Fatalf("forward waste %v not below backward %v", fw.Waste, bw.Waste)
+	}
+}
+
+// TestEvaluateSilentMonotoneInRate checks waste grows as silent errors get
+// more frequent.
+func TestEvaluateSilentMonotoneInRate(t *testing.T) {
+	for _, mode := range SilentRecoveries {
+		prev := -1.0
+		for _, mu := range []float64{100 * Hour, 10 * Hour, Hour} {
+			p := silentBase()
+			p.MuSilent = mu
+			w := EvaluateSilent(mode, p).Waste
+			if w <= prev {
+				t.Fatalf("%v: waste not increasing with error rate (mu=%v: %v after %v)", mode, mu, w, prev)
+			}
+			prev = w
+		}
+	}
+}
+
+// TestEvaluateSilentPeriodClamp: a period above W collapses to one pattern.
+func TestEvaluateSilentPeriodClamp(t *testing.T) {
+	p := silentBase()
+	p.Period = 10 * p.W
+	r := EvaluateSilent(SilentBackward, p)
+	if r.Patterns != 1 || r.Period != p.W {
+		t.Fatalf("period not clamped: %d patterns, period %v", r.Patterns, r.Period)
+	}
+}

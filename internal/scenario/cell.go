@@ -24,6 +24,16 @@ const (
 	// OpPeriods compares the Eq. (11), Young and Daly checkpoint periods
 	// for one (C, mu, D, R) point.
 	OpPeriods = "periods"
+	// OpSilentModel evaluates the silent-error analytic model (verified
+	// patterns with backward or forward recovery) at one parameter point.
+	OpSilentModel = "silent_model"
+	// OpSilentSim runs a Monte-Carlo silent-error campaign at one point.
+	OpSilentSim = "silent_sim"
+	// OpMLModel evaluates the two-level checkpointing model at one point.
+	OpMLModel = "ml_model"
+	// OpMLSim runs a Monte-Carlo two-level checkpointing campaign at one
+	// point.
+	OpMLSim = "ml_sim"
 )
 
 // CellSpec fully determines one evaluation: hashing its canonical JSON
@@ -61,6 +71,19 @@ type CellSpec struct {
 	Precision *CellPrecision `json:"precision,omitempty"`
 	// Probe is the period-comparison input (periods op).
 	Probe *PeriodsProbe `json:"probe,omitempty"`
+	// Silent is the silent-error input (silent_model and silent_sim ops).
+	Silent *SilentCell `json:"silent,omitempty"`
+	// MultiLevel is the two-level checkpointing input (ml_model and ml_sim
+	// ops). For ml_sim cells the expanders bake the model-resolved Period
+	// and K in, so the cell spec fully describes the simulated schedule.
+	MultiLevel *model.MultiLevelParams `json:"multilevel,omitempty"`
+}
+
+// SilentCell is the input of a silent-error cell: the model parameters plus
+// the recovery mode under study ("backward" or "forward").
+type SilentCell struct {
+	Params   model.SilentParams `json:"params"`
+	Recovery string             `json:"recovery"`
 }
 
 // CellPrecision is the resolved adaptive-precision block of a simulation
@@ -293,12 +316,60 @@ type PeriodsCellResult struct {
 	WasteDaly    JSONFloat `json:"waste_daly"`
 }
 
+// SilentModelCellResult is the output of an OpSilentModel cell: the
+// silent-error model's prediction with JSON-safe floats.
+type SilentModelCellResult struct {
+	Recovery           string    `json:"recovery"`
+	Period             JSONFloat `json:"period"`
+	Patterns           int       `json:"patterns"`
+	TFinal             JSONFloat `json:"tfinal"`
+	Waste              JSONFloat `json:"waste"`
+	ExpectedDetections JSONFloat `json:"expected_detections"`
+}
+
+func newSilentModelCellResult(r model.SilentResult) *SilentModelCellResult {
+	return &SilentModelCellResult{
+		Recovery:           r.Mode.String(),
+		Period:             JSONFloat(r.Period),
+		Patterns:           r.Patterns,
+		TFinal:             JSONFloat(r.TFinal),
+		Waste:              JSONFloat(r.Waste),
+		ExpectedDetections: JSONFloat(r.ExpectedDetections),
+	}
+}
+
+// MLModelCellResult is the output of an OpMLModel cell: the two-level
+// model's prediction (including the schedule it settled on) with JSON-safe
+// floats.
+type MLModelCellResult struct {
+	Feasible       bool      `json:"feasible"`
+	Period         JSONFloat `json:"period"`
+	K              int       `json:"k"`
+	TFinal         JSONFloat `json:"tfinal"`
+	Waste          JSONFloat `json:"waste"`
+	ExpectedFaults JSONFloat `json:"expected_faults"`
+}
+
+func newMLModelCellResult(r model.MultiLevelResult) *MLModelCellResult {
+	return &MLModelCellResult{
+		Feasible:       r.Feasible,
+		Period:         JSONFloat(r.Period),
+		K:              r.K,
+		TFinal:         JSONFloat(r.TFinal),
+		Waste:          JSONFloat(r.Waste),
+		ExpectedFaults: JSONFloat(r.ExpectedFaults),
+	}
+}
+
 // CellResult is the cached output of one cell; exactly one field is set,
-// matching the cell's Op.
+// matching the cell's Op. The simulation-backed silent and multi-level ops
+// reuse Sim: their aggregates have the same shape as protocol simulations.
 type CellResult struct {
-	Model   *ModelCellResult   `json:"model,omitempty"`
-	Sim     *SimCellResult     `json:"sim,omitempty"`
-	Periods *PeriodsCellResult `json:"periods,omitempty"`
+	Model       *ModelCellResult       `json:"model,omitempty"`
+	Sim         *SimCellResult         `json:"sim,omitempty"`
+	Periods     *PeriodsCellResult     `json:"periods,omitempty"`
+	SilentModel *SilentModelCellResult `json:"silent_model,omitempty"`
+	MLModel     *MLModelCellResult     `json:"ml_model,omitempty"`
 }
 
 // constructor builds the dist.Distribution factory of a sim cell.
@@ -320,6 +391,8 @@ func (d *DistSpec) constructor() (func(mtbf float64) dist.Distribution, error) {
 		return func(mtbf float64) dist.Distribution { return dist.GammaWithMTBF(shape, mtbf) }, nil
 	case DistLogNormal:
 		return func(mtbf float64) dist.Distribution { return dist.LogNormalWithMTBF(shape, mtbf) }, nil
+	case DistCascade:
+		return func(mtbf float64) dist.Distribution { return dist.CascadeWithMTBF(shape, mtbf) }, nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown distribution %q", spec.Name)
 	}
@@ -394,9 +467,51 @@ func (c CellSpec) Validate() error {
 			return fmt.Errorf("scenario: periods probe needs mu > 0 and non-negative C, D, R")
 		}
 		return nil
+	case OpSilentModel, OpSilentSim:
+		if c.Precision != nil {
+			return fmt.Errorf("scenario: precision applies to sim cells only")
+		}
+		if c.Silent == nil {
+			return fmt.Errorf("scenario: %s cell needs a silent block", c.Op)
+		}
+		if _, err := model.ParseSilentRecovery(c.Silent.Recovery); err != nil {
+			return err
+		}
+		if c.Op == OpSilentSim {
+			if err := c.validateMonteCarlo(); err != nil {
+				return err
+			}
+		}
+		return c.Silent.Params.Validate()
+	case OpMLModel, OpMLSim:
+		if c.Precision != nil {
+			return fmt.Errorf("scenario: precision applies to sim cells only")
+		}
+		if c.MultiLevel == nil {
+			return fmt.Errorf("scenario: %s cell needs a multilevel block", c.Op)
+		}
+		if c.Op == OpMLSim {
+			if err := c.validateMonteCarlo(); err != nil {
+				return err
+			}
+		}
+		return c.MultiLevel.Validate()
 	default:
 		return fmt.Errorf("scenario: unknown cell op %q", c.Op)
 	}
+}
+
+// validateMonteCarlo checks the repetition budget and failure law shared by
+// every simulation-backed op.
+func (c CellSpec) validateMonteCarlo() error {
+	if c.Reps <= 0 {
+		return fmt.Errorf("scenario: %s cell needs reps > 0", c.Op)
+	}
+	if c.Reps > MaxSimReps {
+		return fmt.Errorf("scenario: %s cell reps %d exceeds the %d limit", c.Op, c.Reps, MaxSimReps)
+	}
+	_, err := c.Dist.constructor()
+	return err
 }
 
 // ExecOptions tune how a cell executes. They never change the result: any
@@ -483,6 +598,33 @@ func (c CellSpec) ExecuteOpts(o ExecOptions) (CellResult, error) {
 			agg = sim.Simulate(cfg)
 		}
 		return CellResult{Sim: newSimCellResult(agg)}, nil
+	case OpSilentModel:
+		mode, _ := model.ParseSilentRecovery(c.Silent.Recovery)
+		return CellResult{SilentModel: newSilentModelCellResult(model.EvaluateSilent(mode, c.Silent.Params))}, nil
+	case OpSilentSim:
+		mode, _ := model.ParseSilentRecovery(c.Silent.Recovery)
+		ctor, _ := c.Dist.constructor()
+		cfg := sim.SilentConfig{
+			Params:       c.Silent.Params,
+			Mode:         mode,
+			Reps:         c.Reps,
+			Seed:         c.Seed,
+			Workers:      max(o.Workers, 1),
+			Distribution: ctor,
+		}
+		return CellResult{Sim: newSimCellResult(sim.SimulateSilent(cfg))}, nil
+	case OpMLModel:
+		return CellResult{MLModel: newMLModelCellResult(model.EvaluateMultiLevel(*c.MultiLevel))}, nil
+	case OpMLSim:
+		ctor, _ := c.Dist.constructor()
+		cfg := sim.MultiLevelConfig{
+			Params:       *c.MultiLevel,
+			Reps:         c.Reps,
+			Seed:         c.Seed,
+			Workers:      max(o.Workers, 1),
+			Distribution: ctor,
+		}
+		return CellResult{Sim: newSimCellResult(sim.SimulateMultiLevel(cfg))}, nil
 	case OpPeriods:
 		p := *c.Probe
 		eq11, ok := model.OptimalPeriod(p.C, p.Mu, p.D, p.R)

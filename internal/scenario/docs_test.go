@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const scenariosDoc = "../../docs/SCENARIOS.md"
+
+// specTypes are all structs whose JSON fields form the campaign-file
+// schema. Adding a field to any of them without documenting it in
+// docs/SCENARIOS.md fails TestScenariosDocCoversEverySpecField.
+func specTypes() []reflect.Type {
+	return []reflect.Type{
+		reflect.TypeOf(Campaign{}),
+		reflect.TypeOf(Spec{}),
+		reflect.TypeOf(Axis{}),
+		reflect.TypeOf(OptionsSpec{}),
+		reflect.TypeOf(PrecisionSpec{}),
+		reflect.TypeOf(RenderSpec{}),
+		reflect.TypeOf(SeriesSpec{}),
+		reflect.TypeOf(PointSpec{}),
+		reflect.TypeOf(CaseSpec{}),
+		reflect.TypeOf(SilentSpec{}),
+		reflect.TypeOf(MLSeriesSpec{}),
+		reflect.TypeOf(DistSpec{}),
+		reflect.TypeOf(ParamsOverride{}),
+		reflect.TypeOf(ScalingOverride{}),
+	}
+}
+
+// TestScenariosDocCoversEverySpecField diffs the campaign-file schema (the
+// json struct tags of every spec struct) against docs/SCENARIOS.md: every
+// field name must appear as a backticked identifier.
+func TestScenariosDocCoversEverySpecField(t *testing.T) {
+	data, err := os.ReadFile(scenariosDoc)
+	if err != nil {
+		t.Fatalf("read %s: %v", scenariosDoc, err)
+	}
+	doc := string(data)
+	for _, typ := range specTypes() {
+		for i := 0; i < typ.NumField(); i++ {
+			tag := typ.Field(i).Tag.Get("json")
+			name, _, _ := strings.Cut(tag, ",")
+			if name == "" || name == "-" {
+				t.Errorf("%s.%s has no json name; campaign-file fields must be tagged",
+					typ.Name(), typ.Field(i).Name)
+				continue
+			}
+			if !strings.Contains(doc, "`"+name+"`") {
+				t.Errorf("docs/SCENARIOS.md does not document %s.%s (json %q)",
+					typ.Name(), typ.Field(i).Name, name)
+			}
+		}
+	}
+	// Every kind must be documented with its own section.
+	for _, kind := range []string{
+		KindHeatmap, KindScaling, KindPoints, KindPeriods, KindAblation,
+		KindSensitivity, KindSilentHeatmap, KindMultiLevelScaling,
+	} {
+		if !strings.Contains(doc, "## Kind: `"+kind+"`") {
+			t.Errorf("docs/SCENARIOS.md has no section for kind %q", kind)
+		}
+	}
+}
+
+// TestScenariosDocExamplesAreRunnable loads every ```json block of
+// docs/SCENARIOS.md through the strict campaign parser, so the documented
+// examples cannot rot.
+func TestScenariosDocExamplesAreRunnable(t *testing.T) {
+	data, err := os.ReadFile(scenariosDoc)
+	if err != nil {
+		t.Fatalf("read %s: %v", scenariosDoc, err)
+	}
+	blocks := regexp.MustCompile("(?s)```json\n(.*?)```").FindAllStringSubmatch(string(data), -1)
+	if len(blocks) < 9 {
+		t.Fatalf("found only %d json examples in %s, want one per kind plus the campaign example",
+			len(blocks), scenariosDoc)
+	}
+	for i, m := range blocks {
+		if _, err := Load(strings.NewReader(m[1])); err != nil {
+			t.Errorf("example %d does not validate: %v\n%s", i, err, m[1])
+		}
+	}
+}
+
+// mdLink matches inline markdown links, capturing the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestIntraRepoMarkdownLinks resolves every relative markdown link of every
+// committed .md file against the working tree: broken cross-references fail
+// here instead of surprising a reader.
+func TestIntraRepoMarkdownLinks(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip generated/output directories and hidden trees.
+			switch d.Name() {
+			case ".git", "out", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("found no markdown files")
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				rel, _ := filepath.Rel(root, file)
+				t.Errorf("%s links to %q, which does not exist (%v)", rel, m[1], err)
+			}
+		}
+	}
+}

@@ -49,6 +49,11 @@ func (s *Spec) setFields() []string {
 	set(s.Alpha != nil, "alpha")
 	set(s.Label != "", "label")
 	set(len(s.Cases) > 0, "cases")
+	set(s.Recovery != "", "recovery")
+	set(s.MTBEMinutes != nil, "mtbe_minutes")
+	set(s.VerifyCosts != nil, "verify_costs")
+	set(s.Silent != nil, "silent")
+	set(len(s.MLSeries) > 0, "ml_series")
 	// seed, reps and share_traces only drive simulation cells; on the purely
 	// analytic kinds they would be silently ignored, so they are validated
 	// like kind-specific fields.
@@ -69,6 +74,9 @@ var kindFields = map[string][]string{
 	KindPeriods:     {"ckpt_costs", "mtbfs", "downtime"},
 	KindAblation:    {"variant", "platform", "protocol", "nodes"},
 	KindSensitivity: {"platform", "platform_overrides", "mtbf", "alpha", "label", "cases", "seed", "reps", "share_traces", "precision"},
+	KindSilentHeatmap: {"platform", "platform_overrides", "output", "mtbe_minutes", "verify_costs",
+		"recovery", "silent", "distribution", "render", "seed", "reps"},
+	KindMultiLevelScaling: {"output", "nodes", "ml_series", "distribution", "seed", "reps"},
 }
 
 // checkFields rejects fields that exist in the schema but do not apply to
@@ -117,6 +125,10 @@ func (s *Spec) expand(c *Campaign) (*expansion, error) {
 		ex, err = s.expandAblation()
 	case KindSensitivity:
 		ex, err = s.expandSensitivity(c)
+	case KindSilentHeatmap:
+		ex, err = s.expandSilentHeatmap(c)
+	case KindMultiLevelScaling:
+		ex, err = s.expandMultiLevelScaling(c)
 	case "":
 		return nil, fmt.Errorf("scenario %q: kind is required (one of %s)", s.Name, kindList)
 	default:
@@ -858,17 +870,330 @@ func (s *Spec) expandSensitivity(c *Campaign) (*expansion, error) {
 	return &expansion{spec: s, artifacts: artifacts, cells: cells, assemble: assemble}, nil
 }
 
+// expandSilentHeatmap sweeps the silent-error model over an MTBE (minutes)
+// x verification-cost (seconds) grid: one recovery mode, one platform
+// supplying the work volume and checkpoint/restore costs. Output "model"
+// evaluates the analytic model, "sim" Monte-Carlo campaigns, "diff" both
+// (simulated minus model waste), mirroring the fail-stop heatmap kind.
+func (s *Spec) expandSilentHeatmap(c *Campaign) (*expansion, error) {
+	output := s.Output
+	if output == "" {
+		output = OutputModel
+	}
+	if output != OutputModel && output != OutputSim && output != OutputDiff {
+		return nil, fmt.Errorf("unknown output %q (want model, sim or diff)", s.Output)
+	}
+	if output == OutputModel {
+		switch {
+		case s.Distribution != nil:
+			return nil, fmt.Errorf("field %q only applies to output sim or diff", "distribution")
+		case s.Seed != nil:
+			return nil, fmt.Errorf("field %q only applies to output sim or diff", "seed")
+		case s.Reps != 0:
+			return nil, fmt.Errorf("field %q only applies to output sim or diff", "reps")
+		}
+	}
+	recovery := s.Recovery
+	if recovery == "" {
+		recovery = model.SilentBackward.String()
+	}
+	mode, err := model.ParseSilentRecovery(recovery)
+	if err != nil {
+		return nil, err
+	}
+	platformName := s.Platform
+	if platformName == "" {
+		platformName = "paper-fig7"
+	}
+	plat, err := LookupPlatform(platformName)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := s.PlatformOverrides.apply(plat.Params)
+	mtbeMinutes, err := s.MTBEMinutes.Resolve(sweep.Linspace(60, 240, 19))
+	if err != nil {
+		return nil, err
+	}
+	verifyCosts, err := s.VerifyCosts.Resolve(sweep.Linspace(30, 600, 20))
+	if err != nil {
+		return nil, err
+	}
+	if len(mtbeMinutes) == 0 || len(verifyCosts) == 0 {
+		return nil, fmt.Errorf("silent_heatmap axes must be non-empty")
+	}
+	if len(mtbeMinutes)*len(verifyCosts) > maxScenarioCells {
+		return nil, fmt.Errorf("silent_heatmap grid has %d cells, exceeding the %d-cell limit",
+			len(mtbeMinutes)*len(verifyCosts), maxScenarioCells)
+	}
+	// The platform supplies the work volume and the checkpoint/restore
+	// costs; the silent block overrides them and the silent-only knobs.
+	base := model.SilentParams{W: tmpl.T0, C: tmpl.C, R: tmpl.R, F: 30, Detect: 10}
+	if sp := s.Silent; sp != nil {
+		setF := func(dst *float64, src *float64) {
+			if src != nil {
+				*dst = *src
+			}
+		}
+		setF(&base.W, sp.Work)
+		setF(&base.C, sp.Ckpt)
+		setF(&base.R, sp.Restore)
+		setF(&base.F, sp.Correct)
+		setF(&base.Detect, sp.Detect)
+		setF(&base.Period, sp.Period)
+	}
+	reps := s.repsOr(c)
+	seed := s.seed(c)
+	dist := distOrExp(s.Distribution)
+
+	silentAt := func(row, col int) *SilentCell {
+		p := base
+		p.V = verifyCosts[row]
+		p.MuSilent = mtbeMinutes[col] * model.Minute
+		return &SilentCell{Params: p, Recovery: recovery}
+	}
+	var cells []CellSpec
+	grid := func(op string) {
+		for row := range verifyCosts {
+			for col := range mtbeMinutes {
+				cell := CellSpec{Op: op, Silent: silentAt(row, col)}
+				if op == OpSilentSim {
+					cell.Reps = reps
+					cell.Seed = rng.At(seed, uint64(row), uint64(col))
+					cell.Dist = dist
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	if output == OutputModel || output == OutputDiff {
+		grid(OpSilentModel)
+	}
+	if output == OutputSim || output == OutputDiff {
+		grid(OpSilentSim)
+	}
+
+	title := s.Title
+	if title == "" {
+		switch output {
+		case OutputModel:
+			title = fmt.Sprintf("Silent-error waste, %s recovery: Model (%s)", mode, plat.Desc)
+		case OutputSim:
+			title = fmt.Sprintf("Silent-error waste, %s recovery: Simulation (%d runs/cell)", mode, reps)
+		case OutputDiff:
+			title = fmt.Sprintf("Silent-error waste, %s recovery: Difference WASTE_simul - WASTE_model", mode)
+		}
+	}
+	lo, hi := 0.0, 1.0
+	if output == OutputDiff {
+		lo, hi = -0.14, 0.14
+	}
+	if s.Render != nil {
+		lo, hi = s.Render.Lo, s.Render.Hi
+	}
+
+	assemble := func(results []CellResult) ([]Artifact, error) {
+		rows, cols := len(verifyCosts), len(mtbeMinutes)
+		z := sweep.NewMatrix(rows, cols)
+		for i := 0; i < rows*cols; i++ {
+			row, col := i/cols, i%cols
+			switch output {
+			case OutputModel:
+				z.Set(row, col, float64(results[i].SilentModel.Waste))
+			case OutputSim:
+				z.Set(row, col, float64(results[i].Sim.WasteMean))
+			case OutputDiff:
+				diff := float64(results[rows*cols+i].Sim.WasteMean) - float64(results[i].SilentModel.Waste)
+				z.Set(row, col, diff)
+			}
+		}
+		return []Artifact{{
+			Name: s.Name,
+			Heatmap: &plot.Heatmap{
+				Title:  title,
+				XLabel: "MTBE silent errors (minutes)",
+				YLabel: "Verification cost (seconds)",
+				Xs:     mtbeMinutes,
+				Ys:     verifyCosts,
+				Z:      z,
+			},
+			RenderLo: lo,
+			RenderHi: hi,
+		}}, nil
+	}
+	return &expansion{spec: s, artifacts: []string{s.Name}, cells: cells, assemble: assemble}, nil
+}
+
+// expandMultiLevelScaling sweeps two-level checkpointing configurations over
+// a node axis: series i at n nodes runs with platform MTBF
+// mtbf_at_base * base_nodes / n (the paper's mu = mu_ind / N relation). Each
+// point always evaluates the model — its optimal (period, K) schedule feeds
+// the schedule table — and output "sim" additionally Monte-Carlo campaigns
+// that resolved schedule, so the chart reports simulated waste with the
+// model's schedule baked into each cell spec.
+func (s *Spec) expandMultiLevelScaling(c *Campaign) (*expansion, error) {
+	output := s.Output
+	if output == "" {
+		output = OutputModel
+	}
+	if output != OutputModel && output != OutputSim {
+		return nil, fmt.Errorf("unknown output %q (want model or sim)", s.Output)
+	}
+	if output == OutputModel {
+		switch {
+		case s.Distribution != nil:
+			return nil, fmt.Errorf("field %q only applies to output sim", "distribution")
+		case s.Seed != nil:
+			return nil, fmt.Errorf("field %q only applies to output sim", "seed")
+		case s.Reps != 0:
+			return nil, fmt.Errorf("field %q only applies to output sim", "reps")
+		}
+	}
+	if len(s.MLSeries) == 0 {
+		return nil, fmt.Errorf("multilevel_scaling specs need at least one ml_series entry")
+	}
+	nodes, err := s.Nodes.Resolve(model.DefaultNodeCounts())
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("node axis must be non-empty")
+	}
+	budget := len(nodes) * len(s.MLSeries)
+	if output == OutputSim {
+		budget *= 2
+	}
+	if budget > maxScenarioCells {
+		return nil, fmt.Errorf("multilevel_scaling grid has %d cells, exceeding the %d-cell limit",
+			budget, maxScenarioCells)
+	}
+	reps := s.repsOr(c)
+	seed := s.seed(c)
+	dist := distOrExp(s.Distribution)
+
+	type series struct {
+		name   string
+		params []model.MultiLevelParams // per node, schedule unresolved
+	}
+	resolved := make([]series, 0, len(s.MLSeries))
+	var cells []CellSpec
+	for i, sp := range s.MLSeries {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("ml_series entry %d needs a name", i)
+		}
+		mtbfAtBase := 0.0
+		if sp.MTBFAtBase != nil {
+			mtbfAtBase = *sp.MTBFAtBase
+		}
+		if mtbfAtBase <= 0 {
+			return nil, fmt.Errorf("ml_series %q needs mtbf_at_base > 0", sp.Name)
+		}
+		baseNodes := 1.0
+		if sp.BaseNodes != nil {
+			baseNodes = *sp.BaseNodes
+		}
+		if baseNodes <= 0 {
+			return nil, fmt.Errorf("ml_series %q needs base_nodes > 0", sp.Name)
+		}
+		work := model.Week
+		if sp.Work != nil {
+			work = *sp.Work
+		}
+		downtime := model.Minute
+		if sp.Downtime != nil {
+			downtime = *sp.Downtime
+		}
+		sr := series{name: sp.Name}
+		for _, n := range nodes {
+			if n <= 0 {
+				return nil, fmt.Errorf("node counts must be positive (got %g)", n)
+			}
+			p := model.MultiLevelParams{
+				W: work, Mu: mtbfAtBase * baseNodes / n, D: downtime,
+				C1: sp.C1, R1: sp.R1, C2: sp.C2, R2: sp.R2,
+				Coverage: sp.Coverage, Period: sp.Period, K: sp.K,
+			}
+			sr.params = append(sr.params, p)
+			params := p
+			cells = append(cells, CellSpec{Op: OpMLModel, MultiLevel: &params})
+		}
+		resolved = append(resolved, sr)
+	}
+	if output == OutputSim {
+		for si, sr := range resolved {
+			for ni, p := range sr.params {
+				// Bake the model-resolved schedule into the sim cell so its
+				// spec (and cache key) fully describes the simulated run.
+				r := model.EvaluateMultiLevel(p)
+				params := p
+				params.Period, params.K = r.Period, r.K
+				cells = append(cells, CellSpec{
+					Op: OpMLSim, MultiLevel: &params,
+					Reps: reps, Seed: rng.At(seed, uint64(si), uint64(ni)), Dist: dist,
+				})
+			}
+		}
+	}
+
+	title := s.Title
+	if title == "" {
+		title = s.Name
+	}
+	assemble := func(results []CellResult) ([]Artifact, error) {
+		waste := &plot.LineChart{
+			Title: title + " - waste", XLabel: "Nodes", YLabel: "Waste", Xs: nodes, LogX: true,
+		}
+		simOff := len(resolved) * len(nodes)
+		for si, sr := range resolved {
+			w := make([]float64, len(nodes))
+			for ni := range nodes {
+				if output == OutputSim {
+					w[ni] = float64(results[simOff+si*len(nodes)+ni].Sim.WasteMean)
+				} else {
+					w[ni] = float64(results[si*len(nodes)+ni].MLModel.Waste)
+				}
+			}
+			waste.Series = append(waste.Series, plot.Series{Name: sr.name, Values: w})
+		}
+		t := &plot.Table{
+			Title:   "Two-level schedules: " + title,
+			Columns: []string{"series", "nodes", "mtbf", "period (s)", "K", "feasible", "model waste"},
+		}
+		for si, sr := range resolved {
+			for ni, n := range nodes {
+				res := results[si*len(nodes)+ni].MLModel
+				t.AddRow(sr.name,
+					fmt.Sprintf("%.0f", n),
+					fmtDur(sr.params[ni].Mu),
+					fmt.Sprintf("%.0f", float64(res.Period)),
+					fmt.Sprintf("%d", res.K),
+					fmt.Sprintf("%v", res.Feasible),
+					fmt.Sprintf("%.4f", float64(res.Waste)))
+			}
+		}
+		return []Artifact{
+			{Name: s.Name + "_waste", Chart: waste},
+			{Name: s.Name + "_schedule", Table: t},
+		}, nil
+	}
+	return &expansion{
+		spec:      s,
+		artifacts: []string{s.Name + "_waste", s.Name + "_schedule"},
+		cells:     cells,
+		assemble:  assemble,
+	}, nil
+}
+
 // fmtDur renders a duration in seconds with the largest fitting unit, as
 // used in table cells and default titles ("2h", "10min", "1d").
 func fmtDur(seconds float64) string {
 	switch {
 	case seconds >= model.Day:
-		return fmt.Sprintf("%gd", seconds/model.Day)
+		return fmt.Sprintf("%.4gd", seconds/model.Day)
 	case seconds >= model.Hour:
-		return fmt.Sprintf("%gh", seconds/model.Hour)
+		return fmt.Sprintf("%.4gh", seconds/model.Hour)
 	case seconds >= model.Minute:
-		return fmt.Sprintf("%gmin", seconds/model.Minute)
+		return fmt.Sprintf("%.4gmin", seconds/model.Minute)
 	default:
-		return fmt.Sprintf("%gs", seconds)
+		return fmt.Sprintf("%.4gs", seconds)
 	}
 }

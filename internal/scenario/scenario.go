@@ -50,6 +50,16 @@ const (
 	// KindSensitivity simulates all three protocols under a list of failure
 	// distributions normalized to one MTBF (the Section V realism check).
 	KindSensitivity = "sensitivity"
+	// KindSilentHeatmap sweeps the silent-error model (verified patterns
+	// with backward or forward recovery) over an MTBE x verification-cost
+	// grid and emits a heatmap of model waste, simulated waste, or their
+	// difference.
+	KindSilentHeatmap = "silent_heatmap"
+	// KindMultiLevelScaling sweeps named two-level checkpointing
+	// configurations over a node-count axis (platform MTBF shrinking as
+	// mtbf_at_base * base_nodes / n) and emits a waste chart plus a table of
+	// the model-optimal (period, K) schedules.
+	KindMultiLevelScaling = "multilevel_scaling"
 )
 
 // Protocol names accepted by scenario files.
@@ -291,6 +301,24 @@ type Spec struct {
 	Label string `json:"label,omitempty"`
 	// Cases lists the failure processes of a sensitivity spec.
 	Cases []CaseSpec `json:"cases,omitempty"`
+
+	// Recovery selects the silent-error recovery mode of a silent_heatmap
+	// spec: "backward" (rollback to the last verified checkpoint, default)
+	// or "forward" (ABFT-style in-place correction).
+	Recovery string `json:"recovery,omitempty"`
+	// MTBEMinutes is the silent_heatmap X axis: mean time between silent
+	// errors, in minutes (default 60..240, 19 points).
+	MTBEMinutes *Axis `json:"mtbe_minutes,omitempty"`
+	// VerifyCosts is the silent_heatmap Y axis: the cost of one verification
+	// in seconds (default 30..600, 20 points).
+	VerifyCosts *Axis `json:"verify_costs,omitempty"`
+	// Silent tweaks the remaining silent-error parameters of a
+	// silent_heatmap spec; platform fields supply the defaults.
+	Silent *SilentSpec `json:"silent,omitempty"`
+
+	// MLSeries lists the two-level checkpointing configurations of a
+	// multilevel_scaling spec.
+	MLSeries []MLSeriesSpec `json:"ml_series,omitempty"`
 }
 
 // OptionsSpec is the JSON form of model.Options.
@@ -405,6 +433,57 @@ type CaseSpec struct {
 	SeedPath []uint64 `json:"seed_path,omitempty"`
 }
 
+// SilentSpec tweaks the silent-error parameters of a silent_heatmap spec
+// beyond its two axes; nil pointers keep the defaults. All values are
+// seconds.
+type SilentSpec struct {
+	// Work is the total useful work W (default: the platform's epoch T0).
+	Work *float64 `json:"work,omitempty"`
+	// Ckpt is the checkpoint cost after a verified pattern (default: the
+	// platform's C).
+	Ckpt *float64 `json:"ckpt,omitempty"`
+	// Restore is the backward-recovery rollback cost (default: the
+	// platform's R).
+	Restore *float64 `json:"restore,omitempty"`
+	// Correct is the forward-recovery in-place correction cost (default 30).
+	Correct *float64 `json:"correct,omitempty"`
+	// Detect is the detection latency charged when a verification flags an
+	// error (default 10).
+	Detect *float64 `json:"detect,omitempty"`
+	// Period fixes the work per verified pattern; 0 or unset uses the
+	// mode's first-order optimal period.
+	Period *float64 `json:"period,omitempty"`
+}
+
+// MLSeriesSpec is one two-level checkpointing configuration of a
+// multilevel_scaling spec: level-1/level-2 costs plus the weak-scaling MTBF
+// law mu(n) = mtbf_at_base * base_nodes / n. All durations are seconds.
+type MLSeriesSpec struct {
+	// Name labels the series in the chart and schedule table.
+	Name string `json:"name"`
+	// Work is the total useful work W (default one week).
+	Work *float64 `json:"work,omitempty"`
+	// MTBFAtBase is the platform MTBF at BaseNodes nodes (required;
+	// typically a per-node MTBF budget in the paper's mu = mu_ind / N
+	// relation).
+	MTBFAtBase *float64 `json:"mtbf_at_base,omitempty"`
+	// BaseNodes anchors the MTBF law (default 1).
+	BaseNodes *float64 `json:"base_nodes,omitempty"`
+	// Downtime is the downtime before any recovery (default 60).
+	Downtime *float64 `json:"downtime,omitempty"`
+	// C1 and R1 are the fast (in-memory) checkpoint and restore costs.
+	C1 float64 `json:"c1"`
+	R1 float64 `json:"r1"`
+	// C2 and R2 are the slow (disk) checkpoint and restore costs.
+	C2 float64 `json:"c2"`
+	R2 float64 `json:"r2"`
+	// Coverage is the fraction of failures recoverable from level 1.
+	Coverage float64 `json:"coverage"`
+	// Period and K fix the schedule; 0 lets the model optimize both.
+	Period float64 `json:"period,omitempty"`
+	K      int     `json:"k,omitempty"`
+}
+
 // Axis declares a scan axis: either explicit values, a linear range, or a
 // named preset.
 type Axis struct {
@@ -475,8 +554,8 @@ func (a *Axis) Resolve(def []float64) ([]float64, error) {
 }
 
 // DistSpec names a failure inter-arrival distribution for simulation cells.
-// Shape is the Weibull/gamma shape k or the log-normal sigma; it is ignored
-// for the exponential law.
+// Shape is the Weibull/gamma shape k, the log-normal sigma, or the cascade
+// burst probability; it is ignored for the exponential law.
 type DistSpec struct {
 	Name  string  `json:"name"`
 	Shape float64 `json:"shape,omitempty"`
@@ -488,6 +567,7 @@ const (
 	DistWeibull     = "weibull"
 	DistGamma       = "gamma"
 	DistLogNormal   = "lognormal"
+	DistCascade     = "cascade"
 )
 
 // Validate checks the distribution name and shape.
@@ -500,14 +580,20 @@ func (d DistSpec) Validate() error {
 			return fmt.Errorf("scenario: distribution %q needs shape > 0", d.Name)
 		}
 		return nil
+	case DistCascade:
+		if !(d.Shape > 0 && d.Shape < 1) {
+			return fmt.Errorf("scenario: distribution %q needs a burst probability shape in (0,1)", d.Name)
+		}
+		return nil
 	case "":
-		return fmt.Errorf("scenario: distribution name is required (exp, weibull, gamma or lognormal)")
+		return fmt.Errorf("scenario: distribution name is required (exp, weibull, gamma, lognormal or cascade)")
 	default:
-		return fmt.Errorf("scenario: unknown distribution %q (want exp, weibull, gamma or lognormal)", d.Name)
+		return fmt.Errorf("scenario: unknown distribution %q (want exp, weibull, gamma, lognormal or cascade)", d.Name)
 	}
 }
 
 // kindList names all spec kinds for error messages.
 var kindList = strings.Join([]string{
 	KindHeatmap, KindScaling, KindPoints, KindPeriods, KindAblation, KindSensitivity,
+	KindSilentHeatmap, KindMultiLevelScaling,
 }, ", ")

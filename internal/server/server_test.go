@@ -883,3 +883,85 @@ func TestJobEviction(t *testing.T) {
 		t.Errorf("newest job evicted: code %d", code)
 	}
 }
+
+// silentMLCampaign exercises the silent-error and multi-level scenario
+// kinds through the async campaign flow.
+const silentMLCampaign = `{
+  "name": "silentml",
+  "seed": 3,
+  "reps": 4,
+  "scenarios": [
+    {"name": "sh", "kind": "silent_heatmap", "output": "diff", "recovery": "backward",
+     "mtbe_minutes": {"values": [60, 240]}, "verify_costs": {"values": [30, 300]}},
+    {"name": "ml", "kind": "multilevel_scaling",
+     "nodes": {"values": [1000, 100000]},
+     "ml_series": [{"name": "two-level", "mtbf_at_base": 315576000,
+                    "c1": 30, "r1": 30, "c2": 600, "r2": 600, "coverage": 0.8}]}
+  ]
+}`
+
+// TestSilentMLCampaignAndCells drives the silent-error and multi-level
+// families through both server entry points: the async campaign flow and
+// synchronous cell evaluation.
+func TestSilentMLCampaignAndCells(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/campaigns", silentMLCampaign, &created); code != http.StatusAccepted {
+		t.Fatalf("create: code %d", code)
+	}
+	st := waitDone(t, ts.URL, created.ID)
+	if st.State != StateDone {
+		t.Fatalf("job state %q (error %q), want done", st.State, st.Error)
+	}
+	want := []string{"sh", "ml_waste", "ml_schedule"}
+	if len(st.Artifacts) != len(want) {
+		t.Fatalf("artifacts: %+v", st.Artifacts)
+	}
+	for i, name := range want {
+		if st.Artifacts[i].Name != name {
+			t.Errorf("artifact %d = %q, want %q", i, st.Artifacts[i].Name, name)
+		}
+		resp, err := http.Get(ts.URL + st.Artifacts[i].URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("artifact %q: code %d, %d bytes", name, resp.StatusCode, len(body))
+		}
+	}
+
+	// Synchronous cells: one per new model op.
+	cells := map[string]string{
+		"silent_model": `{"op": "silent_model", "silent": {"recovery": "forward",
+		  "params": {"W": 100000, "MuSilent": 3600, "V": 60, "C": 120, "R": 120, "F": 30, "Detect": 10}}}`,
+		"ml_model": `{"op": "ml_model", "multilevel": {"W": 604800, "Mu": 50000, "D": 60,
+		  "C1": 30, "R1": 30, "C2": 600, "R2": 600, "Coverage": 0.8}}`,
+	}
+	for op, body := range cells {
+		var got struct {
+			Result scenario.CellResult `json:"result"`
+		}
+		code, _ := postJSON(t, ts.URL+"/v1/cells", body, &got)
+		if code != http.StatusOK {
+			t.Fatalf("%s cell: code %d", op, code)
+		}
+		switch op {
+		case "silent_model":
+			if got.Result.SilentModel == nil || got.Result.SilentModel.Waste <= 0 {
+				t.Errorf("silent_model result: %+v", got.Result.SilentModel)
+			}
+		case "ml_model":
+			if got.Result.MLModel == nil || !got.Result.MLModel.Feasible || got.Result.MLModel.K <= 0 {
+				t.Errorf("ml_model result: %+v", got.Result.MLModel)
+			}
+		}
+	}
+}

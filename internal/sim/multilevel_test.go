@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"abftckpt/internal/model"
+)
+
+func mlTestConfig() MultiLevelConfig {
+	return MultiLevelConfig{
+		Params: model.MultiLevelParams{
+			W:        1e6,
+			Mu:       8e6,
+			D:        60,
+			C1:       100,
+			R1:       100,
+			C2:       1000,
+			R2:       1000,
+			Coverage: 0.8,
+			Period:   1e4, // 20 patterns of exactly K segments
+			K:        5,
+		},
+		Reps: 2000,
+		Seed: 1,
+	}
+}
+
+// TestMultiLevelSimMatchesModel is the multi-level cross-validation point
+// of the acceptance criteria: at a benign failure rate (tlost/Mu < 0.005,
+// where the first-order terms the model drops are far below sampling noise)
+// the simulated waste must fall within its CI95 of the prediction.
+func TestMultiLevelSimMatchesModel(t *testing.T) {
+	cfg := mlTestConfig()
+	agg := SimulateMultiLevel(cfg)
+	want := model.EvaluateMultiLevel(cfg.Params)
+	if !want.Feasible {
+		t.Fatalf("cross-validation point must be feasible: %+v", want)
+	}
+	if agg.Truncated != 0 {
+		t.Fatalf("%d truncated runs at a benign point", agg.Truncated)
+	}
+	if diff := math.Abs(agg.Waste.Mean - want.Waste); diff > agg.Waste.CI95 {
+		t.Errorf("sim waste %v vs model %v: |diff| %v above CI95 %v",
+			agg.Waste.Mean, want.Waste, diff, agg.Waste.CI95)
+	}
+	if diff := math.Abs(agg.TFinal.Mean - want.TFinal); diff > agg.TFinal.CI95 {
+		t.Errorf("sim TFinal %v vs model %v: |diff| %v above CI95 %v",
+			agg.TFinal.Mean, want.TFinal, diff, agg.TFinal.CI95)
+	}
+}
+
+// TestMultiLevelWorkerInvariance: bit-identical aggregates for any worker
+// count.
+func TestMultiLevelWorkerInvariance(t *testing.T) {
+	cfg := mlTestConfig()
+	cfg.Reps = 60
+	cfg.Workers = 1
+	serial := SimulateMultiLevel(cfg)
+	cfg.Workers = 4
+	parallel := SimulateMultiLevel(cfg)
+	if serial != parallel {
+		t.Fatalf("aggregate depends on worker count:\n1: %+v\n4: %+v", serial, parallel)
+	}
+}
+
+// TestMultiLevelFailureFreeDeterministic: with a negligible failure rate the
+// makespan is exactly work + per-segment and per-pattern checkpoint costs.
+func TestMultiLevelFailureFreeDeterministic(t *testing.T) {
+	cfg := mlTestConfig()
+	cfg.Params.Mu = 1e18
+	cfg.Reps = 10
+	agg := SimulateMultiLevel(cfg)
+	segments, patterns := 100.0, 20.0
+	want := cfg.Params.W + segments*cfg.Params.C1 + patterns*cfg.Params.C2
+	if agg.TFinal.Mean != want || agg.TFinal.StdDev != 0 {
+		t.Fatalf("failure-free runs not deterministic: mean %v (want %v), stddev %v",
+			agg.TFinal.Mean, want, agg.TFinal.StdDev)
+	}
+	if agg.Faults.Mean != 0 {
+		t.Fatalf("phantom faults: %v", agg.Faults.Mean)
+	}
+}
+
+// TestMultiLevelCoverageMatters: full level-1 coverage strictly beats no
+// coverage on the same traces (every uncovered failure pays the slower
+// restore plus the destroyed pattern segments).
+func TestMultiLevelCoverageMatters(t *testing.T) {
+	cfg := mlTestConfig()
+	cfg.Params.Mu = 2e5 // failure-rich so the difference is macroscopic
+	cfg.Reps = 200
+	covered := cfg
+	covered.Params.Coverage = 1
+	uncovered := cfg
+	uncovered.Params.Coverage = 0
+	wc := SimulateMultiLevel(covered).Waste.Mean
+	wu := SimulateMultiLevel(uncovered).Waste.Mean
+	if wc >= wu {
+		t.Fatalf("full coverage waste %v not below zero coverage %v", wc, wu)
+	}
+}
+
+// TestMultiLevelResolvesOptimalSchedule: a config with free Period/K runs
+// the model's optimized schedule.
+func TestMultiLevelResolvesOptimalSchedule(t *testing.T) {
+	cfg := mlTestConfig()
+	cfg.Params.Period = 0
+	cfg.Params.K = 0
+	cfg.Reps = 20
+	agg := SimulateMultiLevel(cfg)
+	if agg.Runs != 20 || agg.Truncated != 0 {
+		t.Fatalf("optimized-schedule campaign unusable: %+v", agg)
+	}
+	opt := model.EvaluateMultiLevel(cfg.Params)
+	// The resolved schedule is the model's: the failure-free floor of the
+	// simulated makespan must be consistent with it (every run executes at
+	// least ceil(W/Period) level-1 checkpoints).
+	floor := cfg.Params.W + math.Ceil(cfg.Params.W/opt.Period)*cfg.Params.C1
+	if agg.TFinal.Mean < floor {
+		t.Fatalf("mean makespan %v below the schedule floor %v", agg.TFinal.Mean, floor)
+	}
+}
+
+// TestMultiLevelTruncation: failures faster than recovery cap at the
+// horizon with waste 1.
+func TestMultiLevelTruncation(t *testing.T) {
+	cfg := mlTestConfig()
+	cfg.Params.Mu = 200 // below D + R2
+	cfg.Reps = 5
+	cfg.MaxTimeFactor = 3
+	agg := SimulateMultiLevel(cfg)
+	if agg.Truncated != cfg.Reps || agg.Waste.Mean != 1 {
+		t.Fatalf("expected all runs truncated with waste 1: %+v", agg)
+	}
+}
+
+// TestMultiLevelBreakdownPartitionsWall: the activity breakdown sums to the
+// makespan even across level-2 rollbacks that reclassify committed time.
+func TestMultiLevelBreakdownPartitionsWall(t *testing.T) {
+	cfg := mlTestConfig()
+	cfg.Params.Mu = 2e5
+	cfg.Reps = 50
+	agg := SimulateMultiLevel(cfg)
+	sum := agg.Work.Mean + agg.Ckpt.Mean + agg.Lost.Mean + agg.Recovery.Mean
+	if math.Abs(sum-agg.TFinal.Mean) > 1e-6*agg.TFinal.Mean {
+		t.Fatalf("breakdown sum %v != TFinal %v", sum, agg.TFinal.Mean)
+	}
+}

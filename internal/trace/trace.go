@@ -103,6 +103,54 @@ func GenerateHeterogeneous(dists []dist.Distribution, horizon float64, src *rng.
 	return t
 }
 
+// GenerateHeterogeneousCascade draws the per-node renewal superposition of
+// GenerateHeterogeneous and layers correlated failure propagation on top:
+// every failure — primary or triggered — spreads to another node with
+// probability prob after a delay drawn from delay, so correlated bursts form
+// geometric chains of expected length 1/(1-prob) (a switch or PDU failure
+// taking down its neighbours within minutes). Follow-on failures past the
+// horizon are dropped along with the rest of their chain. With prob 0 the
+// result is identical to GenerateHeterogeneous on the same source.
+func GenerateHeterogeneousCascade(dists []dist.Distribution, horizon, prob float64, delay dist.Distribution, src *rng.Source) *Trace {
+	if !(prob >= 0 && prob < 1) {
+		panic(fmt.Sprintf("trace: cascade probability must be in [0,1), got %v", prob))
+	}
+	if prob > 0 && delay == nil {
+		panic("trace: cascade with prob > 0 needs a delay distribution")
+	}
+	t := GenerateHeterogeneous(dists, horizon, src)
+	if prob == 0 {
+		return t
+	}
+	casc := src.Split()
+	n := len(dists)
+	// Walk the independent events in time order and grow each one's chain
+	// depth-first; chains never re-trigger their seeds, so iterating over the
+	// pre-cascade snapshot visits every chain root exactly once.
+	roots := t.Events
+	for _, root := range roots {
+		cur := root
+		for casc.Float64() < prob {
+			next := Event{Time: cur.Time + delay.Sample(casc), Node: cur.Node}
+			if n > 1 {
+				// The failure propagates to a uniformly chosen *other* node.
+				if k := casc.Intn(n - 1); k >= cur.Node {
+					next.Node = k + 1
+				} else {
+					next.Node = k
+				}
+			}
+			if next.Time >= horizon {
+				break
+			}
+			t.Events = append(t.Events, next)
+			cur = next
+		}
+	}
+	t.Sort()
+	return t
+}
+
 // Sort orders events by time (stable on node id for equal times).
 func (t *Trace) Sort() {
 	sort.SliceStable(t.Events, func(i, j int) bool {

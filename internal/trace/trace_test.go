@@ -243,6 +243,115 @@ func TestGenerateHeterogeneous(t *testing.T) {
 	}
 }
 
+// Cascading propagation inflates the event count by the geometric chain
+// factor 1/(1-prob) while keeping the trace valid and time-ordered; with
+// prob 0 the knob is exactly the independent generator.
+func TestGenerateHeterogeneousCascade(t *testing.T) {
+	const horizon = 500_000.0
+	mkDists := func() []dist.Distribution {
+		out := make([]dist.Distribution, 10)
+		for i := range out {
+			out[i] = dist.NewExponential(5000)
+		}
+		return out
+	}
+	delay := dist.NewExponential(30)
+
+	indep := GenerateHeterogeneous(mkDists(), horizon, rng.New(42))
+	zero := GenerateHeterogeneousCascade(mkDists(), horizon, 0, nil, rng.New(42))
+	if len(zero.Events) != len(indep.Events) || zero.Events[0] != indep.Events[0] {
+		t.Fatalf("prob 0 cascade differs from independent generator: %d vs %d events",
+			len(zero.Events), len(indep.Events))
+	}
+
+	const prob = 0.4
+	casc := GenerateHeterogeneousCascade(mkDists(), horizon, prob, delay, rng.New(42))
+	if err := casc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Chains are geometric: expected total events = base/(1-prob). The base
+	// count here is ~1000, so the ratio estimate is tight.
+	ratio := float64(len(casc.Events)) / float64(len(indep.Events))
+	want := 1 / (1 - prob)
+	if math.Abs(ratio-want)/want > 0.1 {
+		t.Errorf("event inflation %v, want ~%v (base %d, cascade %d)",
+			ratio, want, len(indep.Events), len(casc.Events))
+	}
+	// Correlation shows up as burstiness: far more short gaps than the
+	// independent trace at a comparable event count.
+	shortGaps := func(tr *Trace, cutoff float64) float64 {
+		gaps := tr.InterArrivals()
+		n := 0
+		for _, g := range gaps {
+			if g < cutoff {
+				n++
+			}
+		}
+		return float64(n) / float64(len(gaps))
+	}
+	if si, sc := shortGaps(indep, 30), shortGaps(casc, 30); sc <= si {
+		t.Errorf("cascade short-gap fraction %v not above independent %v", sc, si)
+	}
+	// Determinism: the same seed reproduces the trace event for event.
+	again := GenerateHeterogeneousCascade(mkDists(), horizon, prob, delay, rng.New(42))
+	if len(again.Events) != len(casc.Events) {
+		t.Fatalf("same seed produced %d events, then %d", len(casc.Events), len(again.Events))
+	}
+	for i := range again.Events {
+		if again.Events[i] != casc.Events[i] {
+			t.Fatalf("event %d diverged across identical seeds", i)
+		}
+	}
+}
+
+// A two-node cascade must always propagate to the other node, never
+// self-trigger.
+func TestGenerateHeterogeneousCascadeOtherNode(t *testing.T) {
+	dists := []dist.Distribution{dist.NewExponential(1000), dist.NewExponential(1e12)}
+	tr := GenerateHeterogeneousCascade(dists, 200_000, 0.5, dist.NewExponential(10), rng.New(3))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	node1 := 0
+	for _, e := range tr.Events {
+		if e.Node == 1 {
+			node1++
+		}
+	}
+	// Node 1 essentially never fails on its own (MTBF 1e12), so every one of
+	// its events is a propagated failure from node 0.
+	if node1 == 0 {
+		t.Fatal("no propagated events on the quiet node")
+	}
+}
+
+func TestGenerateHeterogeneousCascadePanics(t *testing.T) {
+	cases := []func(){
+		func() {
+			GenerateHeterogeneousCascade(
+				[]dist.Distribution{dist.NewExponential(1)}, 10, 1, dist.NewExponential(1), rng.New(1))
+		},
+		func() {
+			GenerateHeterogeneousCascade(
+				[]dist.Distribution{dist.NewExponential(1)}, 10, -0.1, dist.NewExponential(1), rng.New(1))
+		},
+		func() {
+			GenerateHeterogeneousCascade(
+				[]dist.Distribution{dist.NewExponential(1)}, 10, 0.5, nil, rng.New(1))
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestGenerateHeterogeneousPanicsOnEmpty(t *testing.T) {
 	defer func() {
 		if recover() == nil {
