@@ -147,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ftcampaign: -store-url is mutually exclusive with -cache and -no-cache")
 			return 2
 		}
-		cellCache = scenario.NewCellCacheStore(store.NewBatcher(store.NewRemote(*storeURL, nil), 0, 0), 0)
+		cellCache = scenario.NewCellCacheStore(store.WithChecksum(store.NewBatcher(store.NewRemote(*storeURL, nil), 0, 0)), 0)
 		defer cellCache.Close() //nolint:errcheck // flush-on-exit; puts already reported their errors
 		cacheDir = ""
 	}

@@ -24,6 +24,15 @@
 // With -max-error-rate / -max-p99-ms set, ftload exits nonzero when the
 // SLO is violated, so CI can gate serving-path regressions the way the
 // ftbench compare gate guards the simulation path.
+//
+// With -chaos, the generator's own HTTP transport is wrapped in the
+// seeded fault injector (internal/chaos): dropped connections, injected
+// 5xx/429 bursts, delays, truncated and bit-flipped response bodies. The
+// fault schedule is a pure function of -chaos-seed, so a flaky run
+// reproduces bit-identically:
+//
+//	ftload -target http://127.0.0.1:8080 -duration 5s \
+//	    -chaos err=0.05,status500=0.02,truncate=0.01 -chaos-seed 42
 package main
 
 import (
@@ -41,6 +50,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"abftckpt/internal/chaos"
 )
 
 func main() {
@@ -90,6 +101,25 @@ type Report struct {
 	MaxMS float64 `json:"max_ms"`
 
 	Classes []ClassReport `json:"classes"`
+
+	// Chaos is present when -chaos is set: the fault spec, the seed that
+	// replays the schedule, and what the injector actually did.
+	Chaos *ChaosReport `json:"chaos,omitempty"`
+}
+
+// ChaosReport records the injected-fault configuration and outcomes so a
+// run can be reproduced (-chaos <spec> -chaos-seed <seed>) and its error
+// rate interpreted against the injection rates.
+type ChaosReport struct {
+	Spec       string `json:"spec"`
+	Seed       int64  `json:"seed"`
+	Requests   int64  `json:"requests"`
+	Drops      int64  `json:"drops"`
+	Status500  int64  `json:"status_500"`
+	Status429  int64  `json:"status_429"`
+	Truncated  int64  `json:"truncated"`
+	Corrupted  int64  `json:"corrupted"`
+	Partitions int64  `json:"partitioned"`
 }
 
 // ClassReport aggregates one traffic class.
@@ -117,6 +147,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	campaignPath := fs.String("campaign", "", "campaign JSON for the campaign/artifact classes (default: a tiny built-in spec)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	seed := fs.Int64("seed", 1, "seed for class picking and cold-cell identities")
+	chaosSpec := fs.String("chaos", "", "inject client-side faults, e.g. err=0.05,status500=0.02,delay=5ms,truncate=0.01 (see internal/chaos)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the -chaos fault schedule (same seed+spec replays bit-identically)")
 	outPath := fs.String("o", "", "also write the JSON report to this path")
 	maxErrRate := fs.Float64("max-error-rate", -1, "SLO: exit nonzero when the error rate exceeds this fraction (negative: off)")
 	maxP99 := fs.Float64("max-p99-ms", -1, "SLO: exit nonzero when the overall p99 exceeds this many ms (negative: off)")
@@ -147,11 +179,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var rt http.RoundTripper = &http.Transport{MaxIdleConnsPerHost: 256, MaxConnsPerHost: 0}
+	var chaosRT *chaos.Transport
+	if *chaosSpec != "" {
+		faults, err := chaos.ParseFaults(*chaosSpec, *chaosSeed)
+		if err != nil {
+			fmt.Fprintln(stderr, "ftload:", err)
+			return 2
+		}
+		chaosRT = chaos.NewTransport(rt, faults)
+		rt = chaosRT
+	}
 	client := &http.Client{
 		Timeout: *timeout,
 		// The generator holds many concurrent requests to one host; the
 		// default idle-connection cap of 2 would thrash ephemeral ports.
-		Transport: &http.Transport{MaxIdleConnsPerHost: 256, MaxConnsPerHost: 0},
+		// Under -chaos the transport additionally injects seeded faults.
+		Transport: rt,
 	}
 	g := &generator{
 		client:   client,
@@ -173,6 +217,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	report.Target = *target
 	report.Mix = *mix
 	report.Timestamp = time.Now().UTC()
+	if chaosRT != nil {
+		st := chaosRT.Stats()
+		report.Chaos = &ChaosReport{
+			Spec: *chaosSpec, Seed: *chaosSeed,
+			Requests: st.Requests, Drops: st.Drops,
+			Status500: st.Status500, Status429: st.Status429,
+			Truncated: st.Truncated, Corrupted: st.Corrupted,
+			Partitions: st.Partitioned,
+		}
+	}
 
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")

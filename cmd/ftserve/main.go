@@ -73,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	memCells := fs.Int("mem-cells", scenario.DefaultMemCells, "in-memory LRU capacity in cells")
 	workers := fs.Int("workers", 0, "cell-level parallelism per campaign job (0: NumCPU)")
 	coordinator := fs.String("coordinator", "", "comma-separated worker base URLs; dispatch campaign cells to them instead of executing locally")
+	breakerThreshold := fs.Int("breaker-threshold", server.DefaultBreakerThreshold, "consecutive dispatch failures that open a worker's circuit breaker (coordinator mode)")
 	maxJobs := fs.Int("max-jobs", server.DefaultMaxJobs, "retained jobs before the oldest finished one is evicted")
 	maxRunning := fs.Int("max-running", server.DefaultMaxRunning, "concurrently executing campaign jobs; excess jobs queue")
 	maxQueued := fs.Int("max-queued", server.DefaultMaxQueued, "queued campaign jobs before submissions get 429 + Retry-After")
@@ -104,7 +105,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *storeBatch > 0 {
 			rs = store.NewBatcher(rs, *storeBatch, 0)
 		}
-		cache = scenario.NewCellCacheStore(rs, *memCells)
+		// Verify remote reads locally: the coordinator serves framed
+		// bytes verbatim, so a flipped bit on the wire or in its store
+		// surfaces here as a counted corrupt miss, never a wrong result.
+		cache = scenario.NewCellCacheStore(store.WithChecksum(rs), *memCells)
 	}
 
 	var workerURLs []string
@@ -123,7 +127,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxInflightCells: *maxInflightCells,
 		AdmissionWait:    *admissionWait,
 		WorkerURLs:       workerURLs,
+		BreakerThreshold: *breakerThreshold,
 	})
+	// Resume jobs a previous process accepted but did not finish: they
+	// re-run under their original ids, and the warm store turns the
+	// re-run into a cache-hit sweep plus the unfinished tail.
+	if n := srv.ResumeJournal(); n > 0 {
+		fmt.Fprintf(stdout, "ftserve: resumed %d journaled job(s)\n", n)
+	}
 	handler := srv.Handler()
 	if *pprofOn {
 		// The profiling endpoints are mounted explicitly (not via the

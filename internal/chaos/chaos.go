@@ -1,0 +1,229 @@
+// Package chaos is the deterministic fault injector behind the resilience
+// test suite: the same seeded recipe that the Monte-Carlo layer uses to
+// prove the waste models is applied to the serving fabric itself. It has
+// two faces — a store.ResultStore wrapper (Store: injected errors,
+// latency, bit-corrupted reads) and an http.RoundTripper wrapper
+// (Transport: connection drops, delays, 5xx/429 bursts, truncated and
+// corrupted bodies, per-host partitions) — both driven by one Faults
+// recipe and a seed, so any resilience property can be replayed
+// bit-identically from that seed.
+//
+// Determinism model: every injection decision is a pure function of
+// (seed, operation label, per-label sequence number). The label carries
+// the operation kind plus its key or host, so each key's and each host's
+// fault schedule is fixed by the seed alone, independent of how
+// goroutines interleave across keys and hosts. Replaying a test with the
+// same seed replays the same faults at the same per-label positions.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Faults is one injection recipe. The zero value injects nothing; rates
+// are probabilities in [0, 1] evaluated independently per operation.
+// Which fields apply depends on the face: Store reads ErrRate,
+// CorruptRate and MaxDelay; Transport reads all of them.
+type Faults struct {
+	// Seed fixes the whole fault schedule. Two injectors with equal Seed
+	// and recipe make identical decisions at identical per-label
+	// operation positions.
+	Seed int64
+
+	// ErrRate injects outright operation failures: store Get/Put errors,
+	// or transport connection errors (dial-like failures before any
+	// response exists).
+	ErrRate float64
+	// CorruptRate flips one bit of a value read from the store, or of a
+	// response body on the transport — a silent error the checksum layer
+	// must catch.
+	CorruptRate float64
+	// MaxDelay injects a uniform [0, MaxDelay) latency per operation.
+	MaxDelay time.Duration
+
+	// Status500Rate and Status429Rate fabricate worker responses with
+	// those statuses (transport only). Injected 429s carry a Retry-After
+	// of RetryAfterSec seconds (default 1).
+	Status500Rate float64
+	Status429Rate float64
+	RetryAfterSec int
+	// TruncateRate cuts a response body in half mid-stream (transport
+	// only) — the wire analogue of a torn store value.
+	TruncateRate float64
+
+	// PartitionAfter partitions a host after it has served that many
+	// requests: request number PartitionAfter[host] and every later one
+	// fail with a connection error until Heal. This is the deterministic
+	// "kill worker k mid-campaign" schedule.
+	PartitionAfter map[string]int
+}
+
+// ParseFaults parses a comma-separated recipe like
+//
+//	"err=0.05,corrupt=0.01,delay=5ms,drop=0.1,status500=0.02,status429=0.05,retry_after=2,truncate=0.01"
+//
+// into a Faults. "drop" is an alias for err (the transport reads it as a
+// connection drop). Unknown keys are errors, so a typo cannot silently
+// disable a fault.
+func ParseFaults(spec string, seed int64) (Faults, error) {
+	f := Faults{Seed: seed}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Faults{}, fmt.Errorf("chaos: bad fault %q (want key=value)", part)
+		}
+		switch key {
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Faults{}, fmt.Errorf("chaos: bad delay %q", val)
+			}
+			f.MaxDelay = d
+		case "retry_after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Faults{}, fmt.Errorf("chaos: bad retry_after %q", val)
+			}
+			f.RetryAfterSec = n
+		default:
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return Faults{}, fmt.Errorf("chaos: bad rate in %q (want 0..1)", part)
+			}
+			switch key {
+			case "err", "drop":
+				f.ErrRate = rate
+			case "corrupt":
+				f.CorruptRate = rate
+			case "status500":
+				f.Status500Rate = rate
+			case "status429":
+				f.Status429Rate = rate
+			case "truncate":
+				f.TruncateRate = rate
+			default:
+				return Faults{}, fmt.Errorf("chaos: unknown fault %q", key)
+			}
+		}
+	}
+	return f, nil
+}
+
+// String renders the recipe back into ParseFaults form (stable order),
+// for reports and logs.
+func (f Faults) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("err", f.ErrRate)
+	add("corrupt", f.CorruptRate)
+	if f.MaxDelay > 0 {
+		parts = append(parts, "delay="+f.MaxDelay.String())
+	}
+	add("status500", f.Status500Rate)
+	add("status429", f.Status429Rate)
+	if f.RetryAfterSec > 0 {
+		parts = append(parts, "retry_after="+strconv.Itoa(f.RetryAfterSec))
+	}
+	add("truncate", f.TruncateRate)
+	if len(f.PartitionAfter) > 0 {
+		hosts := make([]string, 0, len(f.PartitionAfter))
+		for h := range f.PartitionAfter {
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+		for _, h := range hosts {
+			parts = append(parts, fmt.Sprintf("partition_after(%s)=%d", h, f.PartitionAfter[h]))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// dice is the deterministic decision source: 64-bit draws keyed on
+// (seed, label, per-label sequence number) through a splitmix64-style
+// mix, so decisions depend only on each label's own operation order.
+type dice struct {
+	seed uint64
+	mu   sync.Mutex
+	seq  map[string]uint64
+}
+
+func newDice(seed int64) *dice {
+	return &dice{seed: uint64(seed), seq: map[string]uint64{}}
+}
+
+// draw returns the next 64-bit decision word for the label.
+func (d *dice) draw(label string) uint64 {
+	d.mu.Lock()
+	n := d.seq[label]
+	d.seq[label] = n + 1
+	d.mu.Unlock()
+	// FNV-1a over label, then splitmix64-mix with seed and sequence.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	x := h ^ (d.seed * 0x9e3779b97f4a7c15) ^ (n * 0xbf58476d1ce4e5b9)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// count returns how many draws the label has consumed (the per-label
+// request position, for schedules like PartitionAfter).
+func (d *dice) count(label string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq[label]
+}
+
+// unitFloat maps a draw to [0, 1).
+func unitFloat(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// roll reports whether an event at the given rate fires, consuming one
+// draw for the label. Rate 0 consumes no draw (pure pass-through stays
+// schedule-neutral for disabled faults).
+func (d *dice) roll(label string, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return unitFloat(d.draw(label)) < rate
+}
+
+// delay sleeps a deterministic uniform [0, max) duration for the label.
+func (d *dice) delay(label string, max time.Duration) {
+	if max <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(unitFloat(d.draw(label)) * float64(max)))
+}
+
+// flipBit flips one deterministically chosen bit of b in place (no-op on
+// empty slices) and reports whether it flipped anything.
+func (d *dice) flipBit(label string, b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	bit := d.draw(label) % uint64(len(b)*8)
+	b[bit/8] ^= 1 << (bit % 8)
+	return true
+}

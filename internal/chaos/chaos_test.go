@@ -1,0 +1,319 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abftckpt/internal/store"
+)
+
+func TestParseFaults(t *testing.T) {
+	f, err := ParseFaults("err=0.05, corrupt=0.01,delay=5ms,status500=0.02,status429=0.5,retry_after=2,truncate=0.1", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seed != 42 || f.ErrRate != 0.05 || f.CorruptRate != 0.01 || f.MaxDelay != 5*time.Millisecond ||
+		f.Status500Rate != 0.02 || f.Status429Rate != 0.5 || f.RetryAfterSec != 2 || f.TruncateRate != 0.1 {
+		t.Fatalf("bad parse: %+v", f)
+	}
+	if _, err := ParseFaults("drop=0.25", 1); err != nil {
+		t.Fatalf("drop alias: %v", err)
+	}
+	for _, bad := range []string{"err=2", "err=-1", "nope=0.1", "err", "delay=abc", "retry_after=-1"} {
+		if _, err := ParseFaults(bad, 0); err == nil {
+			t.Errorf("ParseFaults(%q) accepted bad spec", bad)
+		}
+	}
+	if got := f.String(); !strings.Contains(got, "err=0.05") || !strings.Contains(got, "delay=5ms") {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Faults{}).String(); got != "none" {
+		t.Errorf("zero Faults String() = %q, want none", got)
+	}
+}
+
+// TestDiceDeterminism pins the core replay property: the decision
+// sequence for a label depends only on (seed, label, position) — not on
+// interleaving with other labels, and not on process lifetime.
+func TestDiceDeterminism(t *testing.T) {
+	seq := func(d *dice, label string, n int) []uint64 {
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = d.draw(label)
+		}
+		return out
+	}
+
+	a := newDice(7)
+	b := newDice(7)
+	// Interleave a foreign label on b only; "x" must see the same draws.
+	gotA := seq(a, "x", 8)
+	var gotB []uint64
+	for i := 0; i < 8; i++ {
+		b.draw("other/" + fmt.Sprint(i))
+		gotB = append(gotB, b.draw("x"))
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("draw %d differs under interleaving: %x vs %x", i, gotA[i], gotB[i])
+		}
+	}
+
+	c := newDice(8)
+	if gotA[0] == c.draw("x") && gotA[1] == c.draw("x") {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestStoreInjectsDeterministically(t *testing.T) {
+	run := func() (StoreStats, map[string]string) {
+		inner := store.NewMemory()
+		cs := NewStore(inner, Faults{Seed: 99, ErrRate: 0.3, CorruptRate: 0.3})
+		outcome := map[string]string{}
+		for i := 0; i < 40; i++ {
+			key := fmt.Sprintf("k%02d", i)
+			if err := inner.Put(key, []byte("value-"+key)); err != nil {
+				t.Fatal(err)
+			}
+			got, err := cs.Get(key)
+			switch {
+			case err != nil:
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("Get(%s): unexpected error %v", key, err)
+				}
+				outcome[key] = "err"
+			case string(got) != "value-"+key:
+				outcome[key] = "corrupt"
+			default:
+				outcome[key] = "ok"
+			}
+		}
+		return cs.Stats(), outcome
+	}
+
+	stats1, out1 := run()
+	stats2, out2 := run()
+	if stats1 != stats2 {
+		t.Fatalf("stats differ across replays: %+v vs %+v", stats1, stats2)
+	}
+	for k, v := range out1 {
+		if out2[k] != v {
+			t.Fatalf("key %s outcome differs: %s vs %s", k, v, out2[k])
+		}
+	}
+	if stats1.ErrsGet == 0 || stats1.Corrupted == 0 {
+		t.Fatalf("expected both fault classes to fire at 30%%: %+v", stats1)
+	}
+}
+
+// TestStoreBatchMatchesSingleOps pins batch/single schedule equivalence:
+// the per-key decisions are the same whether keys go through Get or
+// GetBatch, so the fault schedule does not depend on batching strategy.
+func TestStoreBatchMatchesSingleOps(t *testing.T) {
+	keys := make([]string, 30)
+	load := func(cs *Store, inner store.ResultStore) {
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%02d", i)
+			if err := inner.Put(keys[i], bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = cs
+	}
+
+	innerA := store.NewMemory()
+	a := NewStore(innerA, Faults{Seed: 5, ErrRate: 0.4, CorruptRate: 0.4})
+	load(a, innerA)
+	single := map[string]string{}
+	for _, k := range keys {
+		v, err := a.Get(k)
+		switch {
+		case err != nil:
+			single[k] = "err"
+		default:
+			single[k] = string(v)
+		}
+	}
+
+	innerB := store.NewMemory()
+	b := NewStore(innerB, Faults{Seed: 5, ErrRate: 0.4, CorruptRate: 0.4})
+	load(b, innerB)
+	got, err := b.GetBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		want := single[k]
+		v, ok := got[k]
+		if want == "err" {
+			if ok {
+				t.Fatalf("key %s: single op errored but batch returned a value", k)
+			}
+			continue
+		}
+		if !ok || string(v) != want {
+			t.Fatalf("key %s: batch value diverges from single-op value", k)
+		}
+	}
+}
+
+func TestStorePutFaultsAndPassThrough(t *testing.T) {
+	inner := store.NewMemory()
+	cs := NewStore(inner, Faults{Seed: 3, ErrRate: 0.5})
+	var failed, ok int
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("p%02d", i)
+		if err := cs.Put(key, []byte("x")); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatal(err)
+			}
+			failed++
+			// An injected Put error must not have written through.
+			if _, err := inner.Get(key); !errors.Is(err, store.ErrNotFound) {
+				t.Fatalf("injected put error wrote through for %s", key)
+			}
+		} else {
+			ok++
+		}
+	}
+	if failed == 0 || ok == 0 {
+		t.Fatalf("want both outcomes at 50%%: failed=%d ok=%d", failed, ok)
+	}
+	if err := cs.PutBatch([]store.Item{{Key: "b1", Value: []byte("v")}}); err != nil && !errors.Is(err, ErrInjected) {
+		t.Fatal(err)
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportFabricatesStatuses(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "real response body")
+	}))
+	defer srv.Close()
+
+	run := func() (TransportStats, []string) {
+		tr := NewTransport(nil, Faults{Seed: 11, ErrRate: 0.2, Status500Rate: 0.2, Status429Rate: 0.2, RetryAfterSec: 3})
+		client := &http.Client{Transport: tr}
+		var outcomes []string
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(srv.URL)
+			if err != nil {
+				outcomes = append(outcomes, "drop")
+				continue
+			}
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") != "3" {
+				t.Fatalf("injected 429 missing Retry-After: %v", resp.Header)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcomes = append(outcomes, resp.Status)
+		}
+		return tr.Stats(), outcomes
+	}
+
+	stats1, out1 := run()
+	stats2, out2 := run()
+	if stats1 != stats2 {
+		t.Fatalf("transport stats differ across replays: %+v vs %+v", stats1, stats2)
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("request %d outcome differs: %s vs %s", i, out1[i], out2[i])
+		}
+	}
+	if stats1.Drops == 0 || stats1.Status500 == 0 || stats1.Status429 == 0 {
+		t.Fatalf("expected all classes to fire at 20%%: %+v", stats1)
+	}
+}
+
+func TestTransportBodyFaults(t *testing.T) {
+	const payload = "0123456789abcdef0123456789abcdef"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, payload)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, Faults{Seed: 21, TruncateRate: 0.5, CorruptRate: 0.5})
+	client := &http.Client{Transport: tr}
+	var truncated, corrupted, clean int
+	for i := 0; i < 40; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case len(body) < len(payload):
+			truncated++
+		case string(body) != payload:
+			corrupted++
+		default:
+			clean++
+		}
+	}
+	stats := tr.Stats()
+	if truncated == 0 || corrupted == 0 {
+		t.Fatalf("want both body faults to fire: truncated=%d corrupted=%d stats=%+v", truncated, corrupted, stats)
+	}
+	if int(stats.Truncated) != truncated {
+		t.Fatalf("truncation count mismatch: saw %d, stats %d", truncated, stats.Truncated)
+	}
+}
+
+func TestTransportPartitions(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	// Seeded schedule: the host serves exactly 3 requests, then is cut.
+	tr := NewTransport(nil, Faults{Seed: 1, PartitionAfter: map[string]int{host: 3}})
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 6; i++ {
+		resp, err := client.Get(srv.URL)
+		if i < 3 {
+			if err != nil {
+				t.Fatalf("request %d should pass: %v", i, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		} else if err == nil || !errors.Is(err, ErrInjected) {
+			t.Fatalf("request %d should be partitioned, got err=%v", i, err)
+		}
+	}
+	if got := served.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+
+	// Manual partition + heal.
+	tr2 := NewTransport(nil, Faults{Seed: 1})
+	client2 := &http.Client{Transport: tr2}
+	tr2.Partition(host)
+	if _, err := client2.Get(srv.URL); err == nil {
+		t.Fatal("manual partition did not cut the host")
+	}
+	tr2.Heal(host)
+	resp, err := client2.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("healed host still unreachable: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

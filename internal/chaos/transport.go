@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// TransportStats counts what the transport face injected, per fault
+// class — the replayed wire-fault schedule made visible.
+type TransportStats struct {
+	Requests    int64 `json:"requests"`
+	Drops       int64 `json:"drops"`
+	Partitioned int64 `json:"partitioned"`
+	Status500   int64 `json:"status_500"`
+	Status429   int64 `json:"status_429"`
+	Truncated   int64 `json:"truncated"`
+	Corrupted   int64 `json:"corrupted"`
+}
+
+// Transport wraps an http.RoundTripper with seeded wire faults:
+// connection drops (ErrRate), uniform delays (MaxDelay), fabricated 5xx
+// and 429 bursts (Status500Rate/Status429Rate, the 429s carrying
+// Retry-After), truncated bodies (TruncateRate), one-bit body corruption
+// (CorruptRate), and deterministic per-host partitions (PartitionAfter,
+// plus runtime Partition/Heal). Decisions are keyed per (fault, host),
+// so each host's fault schedule is fixed by the seed alone.
+type Transport struct {
+	inner  http.RoundTripper
+	faults Faults
+	dice   *dice
+
+	mu          sync.Mutex
+	partitioned map[string]bool
+
+	requests     atomic.Int64
+	drops        atomic.Int64
+	partitionedN atomic.Int64
+	status500    atomic.Int64
+	status429    atomic.Int64
+	truncated    atomic.Int64
+	corrupted    atomic.Int64
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with the
+// fault recipe.
+func NewTransport(inner http.RoundTripper, f Faults) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{
+		inner:       inner,
+		faults:      f,
+		dice:        newDice(f.Seed),
+		partitioned: map[string]bool{},
+	}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (t *Transport) Stats() TransportStats {
+	return TransportStats{
+		Requests:    t.requests.Load(),
+		Drops:       t.drops.Load(),
+		Partitioned: t.partitionedN.Load(),
+		Status500:   t.status500.Load(),
+		Status429:   t.status429.Load(),
+		Truncated:   t.truncated.Load(),
+		Corrupted:   t.corrupted.Load(),
+	}
+}
+
+// Partition cuts the host off: every request to it fails with a
+// connection error until Heal. Complements the seeded PartitionAfter
+// schedule for tests that script topology changes imperatively.
+func (t *Transport) Partition(host string) {
+	t.mu.Lock()
+	t.partitioned[host] = true
+	t.mu.Unlock()
+}
+
+// Heal reconnects a partitioned host.
+func (t *Transport) Heal(host string) {
+	t.mu.Lock()
+	delete(t.partitioned, host)
+	t.mu.Unlock()
+}
+
+// isPartitioned decides whether this request hits a partition, consuming
+// one position in the host's request sequence for PartitionAfter.
+func (t *Transport) isPartitioned(host string) bool {
+	t.mu.Lock()
+	manual := t.partitioned[host]
+	t.mu.Unlock()
+	if manual {
+		return true
+	}
+	after, ok := t.faults.PartitionAfter[host]
+	if !ok {
+		return false
+	}
+	// Request positions are 0-based: position >= after is cut off. draw
+	// advances the sequence; the value is unused.
+	pos := t.dice.count("reqseq/" + host)
+	t.dice.draw("reqseq/" + host)
+	return int(pos) >= after
+}
+
+// fabricated builds an injected status response for req.
+func fabricated(req *http.Request, status int, retryAfterSec int) *http.Response {
+	body := fmt.Sprintf("chaos: injected %d\n", status)
+	resp := &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain; charset=utf-8"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+	if status == http.StatusTooManyRequests {
+		if retryAfterSec <= 0 {
+			retryAfterSec = 1
+		}
+		resp.Header.Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
+	return resp
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	host := req.URL.Host
+	if t.isPartitioned(host) {
+		t.partitionedN.Add(1)
+		return nil, fmt.Errorf("%w: partitioned host %q", ErrInjected, host)
+	}
+	t.dice.delay("delay/"+host, t.faults.MaxDelay)
+	if t.dice.roll("drop/"+host, t.faults.ErrRate) {
+		t.drops.Add(1)
+		return nil, fmt.Errorf("%w: connection to %q dropped", ErrInjected, host)
+	}
+	if t.dice.roll("status500/"+host, t.faults.Status500Rate) {
+		t.status500.Add(1)
+		return fabricated(req, http.StatusInternalServerError, 0), nil
+	}
+	if t.dice.roll("status429/"+host, t.faults.Status429Rate) {
+		t.status429.Add(1)
+		return fabricated(req, http.StatusTooManyRequests, t.faults.RetryAfterSec), nil
+	}
+
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	truncate := t.dice.roll("truncate/"+host, t.faults.TruncateRate)
+	corrupt := t.dice.roll("corrupt/"+host, t.faults.CorruptRate)
+	if !truncate && !corrupt {
+		return resp, nil
+	}
+	// Body faults need the real bytes in hand; reading them here keeps
+	// the fault deterministic instead of racing the caller's reads.
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if truncate {
+		t.truncated.Add(1)
+		body = body[:len(body)/2]
+		// The declared length still promises the full body, like a torn
+		// connection mid-transfer.
+	}
+	if corrupt && t.dice.flipBit("corruptbit/"+host, body) {
+		t.corrupted.Add(1)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	if !truncate {
+		resp.ContentLength = int64(len(body))
+	}
+	return resp, nil
+}

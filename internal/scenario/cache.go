@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -24,16 +25,25 @@ type cacheEntry struct {
 
 // loadCell returns the cached result of spec from the store, if present
 // and intact. Any store error — missing key, unreachable remote, corrupt
-// bytes — degrades to a miss.
-func loadCell(rs store.ResultStore, spec CellSpec) (CellResult, bool) {
+// bytes — degrades to a miss; corrupt additionally reports that the miss
+// was a damaged entry (checksum mismatch from the store, or bytes that
+// came back but are not JSON), so the cache can count detected silent
+// errors separately from cold reads. The re-execution that follows
+// overwrites the damaged entry with a good one.
+func loadCell(rs store.ResultStore, spec CellSpec) (res CellResult, ok, corrupt bool) {
 	if rs == nil {
-		return CellResult{}, false
+		return CellResult{}, false, false
 	}
 	data, err := rs.Get(spec.Hash())
 	if err != nil {
-		return CellResult{}, false
+		return CellResult{}, false, errors.Is(err, store.ErrCorrupt)
 	}
-	return decodeCellEntry(data, spec)
+	res, ok = decodeCellEntry(data, spec)
+	// A retrieved value that does not even parse is torn or flipped, not
+	// cold; a parse that succeeds but fails the version or canonical-spec
+	// check stays a plain miss (schema drift, hash collision).
+	corrupt = !ok && !json.Valid(data)
+	return res, ok, corrupt
 }
 
 // decodeCellEntry decodes one stored entry and verifies it really belongs

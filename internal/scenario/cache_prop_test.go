@@ -177,7 +177,7 @@ func TestQuickCacheRoundTrip(t *testing.T) {
 				t.Logf("store: %v", err)
 				return false
 			}
-			got, ok := loadCell(rs, spec)
+			got, ok, _ := loadCell(rs, spec)
 			if !ok || mustCanonicalResult(t, got) != want {
 				t.Logf("store round-trip mismatch: ok=%v", ok)
 				return false

@@ -49,6 +49,11 @@ type CacheStats struct {
 	// ExecErrors counts cell executions that failed outright (the request
 	// observed an error and nothing was cached).
 	ExecErrors int64 `json:"exec_errors"`
+	// CorruptEntries counts store reads that returned a damaged entry —
+	// a checksum mismatch or undecodable bytes. Each one is a detected
+	// silent error: it degrades to a miss and the re-execution overwrites
+	// the bad entry, so the artifact is never built from corrupt data.
+	CorruptEntries int64 `json:"corrupt_entries"`
 }
 
 // DefaultMemCells bounds the in-memory tier when NewCellCache is given no
@@ -92,10 +97,13 @@ type flightCall struct {
 // NewCellCache returns a cache whose second tier is the historical disk
 // layout rooted at dir (empty disables the second tier entirely), holding
 // at most memCells results in memory (<= 0 selects DefaultMemCells).
+// Disk-tier values are checksum-framed on write and verified on read
+// (store.WithChecksum); entries written by pre-checksum binaries pass
+// through unverified, so existing caches stay warm.
 func NewCellCache(dir string, memCells int) *CellCache {
 	var rs store.ResultStore
 	if dir != "" {
-		rs = store.NewDisk(dir)
+		rs = store.WithChecksum(store.NewDisk(dir))
 	}
 	c := NewCellCacheStore(rs, memCells)
 	c.dir = dir
@@ -186,8 +194,13 @@ func (c *CellCache) Lookup(spec CellSpec) (CellResult, CellTier, bool) {
 	}
 	c.stats.DiskReads++
 	c.mu.Unlock()
-	res, ok := loadCell(c.store, spec)
+	res, ok, corrupt := loadCell(c.store, spec)
 	if !ok {
+		if corrupt {
+			c.mu.Lock()
+			c.stats.CorruptEntries++
+			c.mu.Unlock()
+		}
 		return CellResult{}, "", false
 	}
 	c.mu.Lock()
@@ -256,7 +269,13 @@ func (c *CellCache) do(spec CellSpec, exec func() (CellResult, error)) (CellResu
 		c.mu.Lock()
 		c.stats.DiskReads++
 		c.mu.Unlock()
-		res, hit = loadCell(c.store, spec)
+		var corrupt bool
+		res, hit, corrupt = loadCell(c.store, spec)
+		if corrupt {
+			c.mu.Lock()
+			c.stats.CorruptEntries++
+			c.mu.Unlock()
+		}
 	}
 	if !hit {
 		tier = TierExec

@@ -15,13 +15,16 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 
 	"abftckpt/internal/scenario"
@@ -38,6 +41,17 @@ const maxShardCells = 4096
 // before the job fails; later rounds back off so a transiently saturated
 // fleet (429s) gets room to drain.
 const dispatchRounds = 3
+
+// dispatchBackoffBase is the backoff unit between dispatch rounds: the
+// wait before round r is a full-jitter draw from [0, base × 2^(r−2)],
+// raised to the largest Retry-After any worker sent in the previous
+// round. Full jitter (rather than jittered-around-the-midpoint) spreads
+// a fleet of retrying coordinators instead of re-synchronizing them.
+const dispatchBackoffBase = 100 * time.Millisecond
+
+// probeTimeout bounds a half-open /healthz probe; a worker that cannot
+// answer its liveness check within this is not ready for real shards.
+const probeTimeout = 2 * time.Second
 
 // shardRequest is the POST /v1/shards request body.
 type shardRequest struct {
@@ -71,6 +85,11 @@ type WorkerStatus struct {
 	// Errors counts failed dispatch attempts (transport errors, non-200
 	// statuses, malformed responses).
 	Errors int64 `json:"errors"`
+	// Breaker is the worker's circuit state: "closed", "open" or
+	// "half-open". BreakerOpens counts transitions into "open" since the
+	// coordinator started.
+	Breaker      string `json:"breaker,omitempty"`
+	BreakerOpens int64  `json:"breaker_opens"`
 }
 
 // handleShards executes one shard of cells on this worker through the
@@ -131,63 +150,209 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// workerBusyError is a 429 from a worker: the worker is alive but
+// rate-limiting, so the attempt fails without tripping the breaker and
+// its Retry-After raises the next round's backoff.
+type workerBusyError struct {
+	retryAfter time.Duration
+	status     string
+}
+
+func (e *workerBusyError) Error() string {
+	return fmt.Sprintf("status %s (retry after %s)", e.status, e.retryAfter)
+}
+
+// parseRetryAfter reads a Retry-After header (delta-seconds or HTTP
+// date), defaulting to one second when absent or malformed.
+func parseRetryAfter(h string) time.Duration {
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return time.Second
+}
+
 // dispatchShard sends one cohort of cells to a worker: round-robin pick,
 // failover through the rest of the fleet, bounded retry rounds with
-// backoff. On success the per-worker and per-job counters advance and the
-// results come back in spec order; after every attempt fails, the last
-// error surfaces (and the job fails).
+// full-jitter exponential backoff that honors the largest Retry-After
+// seen in the round. Workers behind an open circuit breaker are skipped
+// (half-open probes re-admit them via /healthz); if every breaker is
+// open the round attempts the whole fleet anyway — with nothing
+// admissible, a desperation attempt beats certain failure. All waits
+// abort promptly on coordinator drain or job cancellation. On success
+// the per-worker and per-job counters advance and the results come back
+// in spec order; after every attempt fails, the last error surfaces (and
+// the job fails).
 func (s *Server) dispatchShard(j *job, specs []scenario.CellSpec) ([]scenario.CellResult, error) {
 	body, err := json.Marshal(shardRequest{Cells: specs})
 	if err != nil {
 		return nil, fmt.Errorf("server: marshal shard: %w", err)
 	}
+	ctx := context.Background()
+	if j != nil {
+		ctx = j.ctx
+	}
 	n := len(s.workerURLs)
 	start := int(s.rr.Add(1)-1) % n
 	var lastErr error
-	for round := 0; round < dispatchRounds; round++ {
-		if round > 0 {
-			time.Sleep(time.Duration(round) * 100 * time.Millisecond)
+	var retryAfterMax time.Duration
+	for round := 1; round <= dispatchRounds; round++ {
+		if round > 1 {
+			if err := s.backoffWait(ctx, round, retryAfterMax); err != nil {
+				if lastErr != nil {
+					return nil, fmt.Errorf("%w (last worker error: %v)", err, lastErr)
+				}
+				return nil, err
+			}
 		}
-		for k := 0; k < n; k++ {
-			i := (start + k) % n
-			url := s.workerURLs[i]
-			resp, err := s.postShard(url, body)
-			if err == nil && len(resp.Results) != len(specs) {
-				err = fmt.Errorf("%d results for %d cells", len(resp.Results), len(specs))
+		retryAfterMax = 0
+		for desperate := 0; desperate < 2; desperate++ {
+			attempted := false
+			for k := 0; k < n; k++ {
+				i := (start + k) % n
+				br := s.breakers[i]
+				if desperate == 0 {
+					attempt, probe := br.admit()
+					if !attempt {
+						continue
+					}
+					if probe && !s.probeWorker(ctx, i) {
+						lastErr = fmt.Errorf("worker %s: health probe failed", s.workerURLs[i])
+						continue
+					}
+				}
+				attempted = true
+				results, err := s.attemptShard(j, i, specs, body, ctx)
+				if err == nil {
+					return results, nil
+				}
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("server: dispatch aborted: %w (last worker error: %v)", ctx.Err(), err)
+				}
+				var busy *workerBusyError
+				if errors.As(err, &busy) && busy.retryAfter > retryAfterMax {
+					retryAfterMax = busy.retryAfter
+				}
+				lastErr = err
 			}
-			if err != nil {
-				lastErr = fmt.Errorf("worker %s: %w", url, err)
-				s.mu.Lock()
-				s.workerStats[i].Errors++
-				s.mu.Unlock()
-				continue
+			if attempted {
+				break
 			}
-			s.mu.Lock()
-			ws := s.workerStats[i]
-			ws.Shards++
-			ws.Cells += int64(len(specs))
-			ws.Executed += int64(resp.Executed)
-			ws.Cached += int64(resp.Cached)
-			s.mu.Unlock()
-			if j != nil {
-				j.onShard(url, len(specs), resp.Executed, resp.Cached)
-			}
-			return resp.Results, nil
 		}
 	}
 	return nil, fmt.Errorf("server: shard failed on all %d workers: %w", n, lastErr)
 }
 
-// postShard performs one shard round-trip against one worker.
-func (s *Server) postShard(workerURL string, body []byte) (*shardResponse, error) {
-	httpResp, err := s.shardClient.Post(workerURL+"/v1/shards", "application/json", bytes.NewReader(body))
+// attemptShard performs one dispatch attempt against worker i, feeding
+// its breaker and the per-worker/per-job counters.
+func (s *Server) attemptShard(j *job, i int, specs []scenario.CellSpec, body []byte, ctx context.Context) ([]scenario.CellResult, error) {
+	url := s.workerURLs[i]
+	resp, err := s.postShard(ctx, url, body)
+	if err == nil && len(resp.Results) != len(specs) {
+		err = fmt.Errorf("%d results for %d cells", len(resp.Results), len(specs))
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.workerStats[i].Errors++
+		s.mu.Unlock()
+		// A 429 means alive-but-busy: it neither trips the breaker nor
+		// counts toward consecutive failures.
+		var busy *workerBusyError
+		if !errors.As(err, &busy) {
+			s.breakers[i].failure()
+		}
+		return nil, fmt.Errorf("worker %s: %w", url, err)
+	}
+	s.breakers[i].success()
+	s.mu.Lock()
+	ws := s.workerStats[i]
+	ws.Shards++
+	ws.Cells += int64(len(specs))
+	ws.Executed += int64(resp.Executed)
+	ws.Cached += int64(resp.Cached)
+	s.mu.Unlock()
+	if j != nil {
+		j.onShard(url, len(specs), resp.Executed, resp.Cached)
+	}
+	return resp.Results, nil
+}
+
+// backoffWait sleeps the inter-round backoff: a full-jitter draw from
+// [0, base × 2^(round−2)], raised to retryAfter when a worker asked for
+// more. The wait aborts promptly when the coordinator begins draining or
+// the job is cancelled — a retry storm must not outlive either.
+func (s *Server) backoffWait(ctx context.Context, round int, retryAfter time.Duration) error {
+	base := dispatchBackoffBase << (round - 2)
+	wait := time.Duration(rand.Int64N(int64(base) + 1))
+	if retryAfter > wait {
+		wait = retryAfter
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-s.drainCh:
+		return errors.New("server: dispatch aborted: coordinator draining")
+	case <-ctx.Done():
+		return fmt.Errorf("server: dispatch aborted: %w", ctx.Err())
+	}
+}
+
+// probeWorker resolves a half-open breaker with a bounded /healthz
+// round-trip, and reports whether the worker was re-admitted.
+func (s *Server) probeWorker(ctx context.Context, i int) bool {
+	pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, s.workerURLs[i]+"/healthz", nil)
+	if err != nil {
+		s.breakers[i].probeResult(false)
+		return false
+	}
+	resp, err := s.shardClient.Do(req)
+	healthy := false
+	if err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024)) //nolint:errcheck
+		resp.Body.Close()
+		healthy = resp.StatusCode == http.StatusOK
+	}
+	s.breakers[i].probeResult(healthy)
+	return healthy
+}
+
+// postShard performs one shard round-trip against one worker. The
+// request carries ctx, so job cancellation and drain force-fail abort
+// in-flight round-trips, not just the waits between them.
+func (s *Server) postShard(ctx context.Context, workerURL string, body []byte) (*shardResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, workerURL+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := s.shardClient.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer httpResp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(httpResp.Body, maxBodyBytes))
+	// Read one byte past the cap: a body at exactly maxBodyBytes stays
+	// intact, anything larger is reported as oversized instead of being
+	// silently clipped into a confusing JSON decode error.
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, maxBodyBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("read response: %w", err)
+	}
+	if len(data) > maxBodyBytes {
+		return nil, fmt.Errorf("response exceeds %d bytes", maxBodyBytes)
+	}
+	if httpResp.StatusCode == http.StatusTooManyRequests {
+		return nil, &workerBusyError{
+			retryAfter: parseRetryAfter(httpResp.Header.Get("Retry-After")),
+			status:     httpResp.Status,
+		}
 	}
 	if httpResp.StatusCode != http.StatusOK {
 		snippet := data
@@ -207,10 +372,13 @@ func (s *Server) postShard(workerURL string, body []byte) (*shardResponse, error
 // stable output. Empty (not nil-panicking) outside coordinator mode.
 func (s *Server) workerStatuses() []WorkerStatus {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]WorkerStatus, 0, len(s.workerStats))
 	for _, ws := range s.workerStats {
 		out = append(out, *ws)
+	}
+	s.mu.Unlock()
+	for i := range out {
+		out[i].Breaker, out[i].BreakerOpens = s.breakers[i].snapshot()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
 	return out

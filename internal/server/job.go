@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +23,13 @@ const (
 // artifactCSV. All fields behind mu.
 type job struct {
 	id string // immutable after registration
+
+	// ctx is cancelled when the job is force-failed (shutdown, drain
+	// deadline): coordinator dispatch carries it on every shard
+	// round-trip and backoff wait, so killing the job interrupts its
+	// in-flight HTTP instead of orphaning a retry loop.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu        sync.Mutex
 	campaign  string
@@ -68,7 +76,10 @@ type artifactInfo struct {
 }
 
 func newJob(campaign string) *job {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &job{
+		ctx:       ctx,
+		cancel:    cancel,
 		campaign:  campaign,
 		state:     StateQueued,
 		created:   time.Now().UTC(),
@@ -179,13 +190,26 @@ func (j *job) forceFail(reason string) bool {
 	j.errMsg = reason
 	j.forced = true
 	j.ended = time.Now().UTC()
+	// Interrupt the runner: in-flight shard dispatches and backoff waits
+	// carrying j.ctx abort instead of running to their own timeouts.
+	j.cancel()
 	return true
+}
+
+// wasForced reports whether the job ended by forceFail (shutdown) rather
+// than by its runner finishing. A forced job keeps its journal entry so
+// a restarted coordinator resumes it.
+func (j *job) wasForced() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.forced
 }
 
 // finish records the run outcome.
 func (j *job) finish(report *scenario.Report, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.cancel() // the runner is done; release the context's resources
 	if j.forced {
 		return
 	}

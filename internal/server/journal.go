@@ -1,0 +1,140 @@
+// Job journal: checkpointed coordinator progress. Every accepted
+// campaign job is recorded — id plus verbatim campaign source — under a
+// fixed key in the result store, and removed when its runner finishes
+// naturally. A job force-failed by shutdown keeps its entry, so a
+// restarted coordinator calls ResumeJournal and re-runs it under the
+// same id. This is the paper's own recipe applied to the control plane:
+// the warm content-addressed store is the checkpoint, and resume is
+// bounded re-execution — cells computed before the crash come back as
+// cache hits, only the tail is recomputed.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+
+	"abftckpt/internal/scenario"
+	"abftckpt/internal/store"
+)
+
+// journalKey is the fixed store key of the journal index. It is not a
+// cell hash, but satisfies the disk layout's sharding (files land under
+// the "jo" shard directory).
+const journalKey = "job-journal"
+
+// journalVersion guards the index shape; an unknown version is ignored
+// wholesale rather than half-parsed.
+const journalVersion = 1
+
+// journalEntry is one in-flight job: everything needed to re-run it.
+type journalEntry struct {
+	ID string `json:"id"`
+	// Campaign is the verbatim submitted campaign source (JSON).
+	Campaign json.RawMessage `json:"campaign"`
+	Created  time.Time       `json:"created"`
+}
+
+// journalIndex is the stored journal shape.
+type journalIndex struct {
+	V    int            `json:"v"`
+	Jobs []journalEntry `json:"jobs"`
+}
+
+// loadJournal reads the index; a missing, corrupt or foreign-version
+// journal reads as empty. Callers hold journalMu.
+func loadJournal(rs store.ResultStore) journalIndex {
+	data, err := rs.Get(journalKey)
+	if err != nil {
+		return journalIndex{V: journalVersion}
+	}
+	var idx journalIndex
+	if json.Unmarshal(data, &idx) != nil || idx.V != journalVersion {
+		return journalIndex{V: journalVersion}
+	}
+	return idx
+}
+
+// journalUpdate applies one mutation to the index under journalMu,
+// best-effort: journaling failures must never fail a submission (the
+// journal is a recovery aid, not a ledger of record).
+func (s *Server) journalUpdate(mutate func(*journalIndex)) {
+	rs := s.cache.Store()
+	if rs == nil {
+		return
+	}
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	idx := loadJournal(rs)
+	mutate(&idx)
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return
+	}
+	rs.Put(journalKey, data) //nolint:errcheck // best-effort by design
+}
+
+// journalAdd records an accepted job (idempotent on id).
+func (s *Server) journalAdd(id string, campaign []byte, created time.Time) {
+	s.journalUpdate(func(idx *journalIndex) {
+		for _, e := range idx.Jobs {
+			if e.ID == id {
+				return
+			}
+		}
+		idx.Jobs = append(idx.Jobs, journalEntry{
+			ID: id, Campaign: append(json.RawMessage(nil), campaign...), Created: created,
+		})
+	})
+}
+
+// journalRemove drops a finished job from the index.
+func (s *Server) journalRemove(id string) {
+	s.journalUpdate(func(idx *journalIndex) {
+		kept := idx.Jobs[:0]
+		for _, e := range idx.Jobs {
+			if e.ID != id {
+				kept = append(kept, e)
+			}
+		}
+		idx.Jobs = kept
+	})
+}
+
+// ResumeJournal restarts every journaled job — jobs a previous
+// coordinator process accepted but did not finish. Each resumes under
+// its original id, so clients polling GET /v1/jobs/{id} across the
+// restart see the job leave "failed"/unknown and complete. Entries whose
+// campaign no longer parses are dropped. It returns how many jobs were
+// restarted; call it once, after New and before serving traffic.
+func (s *Server) ResumeJournal() int {
+	rs := s.cache.Store()
+	if rs == nil {
+		return 0
+	}
+	s.journalMu.Lock()
+	idx := loadJournal(rs)
+	s.journalMu.Unlock()
+	n := 0
+	for _, e := range idx.Jobs {
+		campaign, err := scenario.Load(bytes.NewReader(e.Campaign))
+		if err != nil {
+			s.journalRemove(e.ID)
+			continue
+		}
+		j := newJob(campaign.Name)
+		j.id = e.ID
+		s.mu.Lock()
+		if _, exists := s.jobs[j.id]; exists {
+			s.mu.Unlock()
+			continue
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queuedJobs++
+		s.mu.Unlock()
+		go s.runJob(j, campaign)
+		n++
+	}
+	return n
+}

@@ -342,6 +342,22 @@ func (m *Metrics) WritePromText(w io.Writer, g promGauges) {
 		for _, ws := range g.Workers {
 			fmt.Fprintf(w, "ftserve_worker_errors_total{worker=%q} %d\n", ws.URL, ws.Errors)
 		}
+		fmt.Fprintln(w, "# HELP ftserve_worker_breaker_state Circuit-breaker state per worker (1 on the active state).")
+		fmt.Fprintln(w, "# TYPE ftserve_worker_breaker_state gauge")
+		for _, ws := range g.Workers {
+			for _, st := range []string{BreakerClosed, BreakerOpen, BreakerHalfOpen} {
+				v := 0
+				if ws.Breaker == st {
+					v = 1
+				}
+				fmt.Fprintf(w, "ftserve_worker_breaker_state{worker=%q,state=%q} %d\n", ws.URL, st, v)
+			}
+		}
+		fmt.Fprintln(w, "# HELP ftserve_worker_breaker_opens_total Circuit-breaker transitions into open, per worker.")
+		fmt.Fprintln(w, "# TYPE ftserve_worker_breaker_opens_total counter")
+		for _, ws := range g.Workers {
+			fmt.Fprintf(w, "ftserve_worker_breaker_opens_total{worker=%q} %d\n", ws.URL, ws.BreakerOpens)
+		}
 	}
 
 	fmt.Fprintln(w, "# HELP ftserve_cache_requests_total Cell-cache outcomes, by tier.")
@@ -359,6 +375,9 @@ func (m *Metrics) WritePromText(w io.Writer, g promGauges) {
 	fmt.Fprintln(w, "# HELP ftserve_cache_exec_errors_total Cell executions that failed outright.")
 	fmt.Fprintln(w, "# TYPE ftserve_cache_exec_errors_total counter")
 	fmt.Fprintf(w, "ftserve_cache_exec_errors_total %d\n", g.Cache.ExecErrors)
+	fmt.Fprintln(w, "# HELP ftserve_cache_corrupt_entries_total Store reads rejected as corrupt (checksum mismatch or undecodable bytes), each re-executed as a miss.")
+	fmt.Fprintln(w, "# TYPE ftserve_cache_corrupt_entries_total counter")
+	fmt.Fprintf(w, "ftserve_cache_corrupt_entries_total %d\n", g.Cache.CorruptEntries)
 
 	fmt.Fprintln(w, "# HELP ftserve_cohort_arenas_built_total Shared failure-process arenas materialized by finished jobs.")
 	fmt.Fprintln(w, "# TYPE ftserve_cohort_arenas_built_total counter")

@@ -35,12 +35,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
@@ -88,6 +90,10 @@ type Config struct {
 	// ShardClient is the HTTP client used to dispatch shards (nil: a
 	// client with DefaultShardTimeout). Coordinator mode only.
 	ShardClient *http.Client
+	// BreakerThreshold is how many consecutive dispatch failures open a
+	// worker's circuit breaker (0: DefaultBreakerThreshold). Coordinator
+	// mode only.
+	BreakerThreshold int
 }
 
 // Defaults apply when Config leaves the corresponding bound unset.
@@ -136,10 +142,19 @@ type Server struct {
 
 	// draining refuses new work (503 on the POST endpoints) while running
 	// jobs and cells finish; set once by BeginDrain during shutdown.
-	draining atomic.Bool
+	// drainCh closes at the same moment so dispatch backoff waits abort
+	// promptly instead of sleeping through the drain window.
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	// journalMu serializes read-modify-write cycles on the job journal
+	// (see journal.go); never held together with mu.
+	journalMu sync.Mutex
 
 	// Coordinator mode (empty workerURLs: plain single-node server).
 	workerURLs  []string
+	breakers    []*breaker // parallel to workerURLs
 	shardClient *http.Client
 	rr          atomic.Uint64 // round-robin dispatch cursor
 
@@ -215,11 +230,13 @@ func New(cfg Config) *Server {
 		shardClient:   shardClient,
 		metrics:       NewMetrics(),
 		jobs:          map[string]*job{},
+		drainCh:       make(chan struct{}),
 	}
 	for _, u := range cfg.WorkerURLs {
 		u = strings.TrimRight(u, "/")
 		s.workerURLs = append(s.workerURLs, u)
 		s.workerStats = append(s.workerStats, &WorkerStatus{URL: u})
+		s.breakers = append(s.breakers, newBreaker(cfg.BreakerThreshold))
 	}
 	return s
 }
@@ -249,7 +266,14 @@ func (s *Server) Handler() http.Handler {
 	})
 	// When the cache has a second tier, expose it over the store batch API
 	// so workers can share this server's store (-store-url .../v1/store).
+	// A checksummed tier is served from its inner store: framed bytes
+	// travel the wire verbatim and each remote client verifies its own
+	// reads, so wire corruption is caught end-to-end instead of being
+	// stripped (or double-framed) here.
 	if rs := s.cache.Store(); rs != nil {
+		if cs, ok := rs.(*store.Checksummed); ok {
+			rs = cs.Inner()
+		}
 		mux.Handle("POST /v1/store/", http.StripPrefix("/v1/store", store.Handler(rs)))
 	}
 	return mux
@@ -257,8 +281,14 @@ func (s *Server) Handler() http.Handler {
 
 // BeginDrain puts the server in draining mode: the POST endpoints refuse
 // new work with 503 while already-accepted jobs and cells keep running.
-// Draining is one-way; it is called once during shutdown.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// Coordinator dispatch backoff waits abort immediately (a job deep in an
+// all-workers-down retry storm fails now rather than sleeping through
+// the drain window); in-flight shard round-trips are left to finish.
+// Draining is one-way; it is idempotent and called during shutdown.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -436,7 +466,13 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	s.queuedJobs++
 	s.mu.Unlock()
 
-	campaign, err := scenario.Load(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	// The body is read fully before parsing: the verbatim bytes go into
+	// the job journal so a restarted coordinator can re-run the job.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	var campaign *scenario.Campaign
+	if err == nil {
+		campaign, err = scenario.Load(bytes.NewReader(body))
+	}
 	if err != nil {
 		s.mu.Lock()
 		s.queuedJobs--
@@ -458,6 +494,7 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.mu.Unlock()
+	s.journalAdd(j.id, body, j.created)
 
 	go s.runJob(j, campaign)
 
@@ -524,6 +561,12 @@ func (s *Server) runJob(j *job, campaign *scenario.Campaign) {
 	}
 	report, err := runner.Run(campaign)
 	j.finish(report, err)
+	// A naturally finished job (done, or failed on its own terms) leaves
+	// the journal; a force-failed one (shutdown) keeps its entry so the
+	// next coordinator process resumes it.
+	if !j.wasForced() {
+		s.journalRemove(j.id)
+	}
 	// Re-run eviction now that this job is finished: without it, jobs
 	// past MaxJobs would linger until the next submission.
 	s.mu.Lock()

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestChecksumFraming(t *testing.T) {
+	payload := []byte(`{"v":1,"result":{"waste":0.25}}` + "\n")
+	framed := appendChecksum(payload)
+	if len(framed) != len(payload)+checksumTrailerLen {
+		t.Fatalf("framed length %d, want %d", len(framed), len(payload)+checksumTrailerLen)
+	}
+	back, verified, err := splitChecksum(framed)
+	if err != nil || !verified {
+		t.Fatalf("splitChecksum: verified=%v err=%v", verified, err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatalf("payload round-trip: got %q", back)
+	}
+
+	// Values without a trailer are legacy: passed through unverified.
+	for _, legacy := range [][]byte{nil, {}, []byte("short"), payload} {
+		back, verified, err := splitChecksum(legacy)
+		if err != nil || verified {
+			t.Fatalf("legacy %q: verified=%v err=%v", legacy, verified, err)
+		}
+		if !bytes.Equal(back, legacy) {
+			t.Fatalf("legacy %q mutated to %q", legacy, back)
+		}
+	}
+
+	// Any single-bit flip anywhere in the framed value must be caught —
+	// in the payload, the magic (reads as legacy, fails downstream
+	// decode), or the digits.
+	for bit := 0; bit < len(framed)*8; bit += 7 {
+		mut := append([]byte(nil), framed...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		back, verified, err := splitChecksum(mut)
+		if err == nil && verified && !bytes.Equal(back, payload) {
+			t.Fatalf("bit %d: flip verified as valid with altered payload", bit)
+		}
+	}
+}
+
+func TestChecksummedDetectsCorruption(t *testing.T) {
+	inner := NewMemory()
+	cs := WithChecksum(inner)
+
+	k1, k2 := key(1), key(2)
+	if err := cs.Put(k1, []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.PutBatch([]Item{{Key: k2, Value: []byte("payload-two")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := cs.Get(k1)
+	if err != nil || string(got) != "payload-one" {
+		t.Fatalf("get: %q, %v", got, err)
+	}
+
+	// Corrupt k1 in the backing store: Get must fail with ErrCorrupt,
+	// and GetBatch must omit it while still returning healthy k2.
+	framed, err := inner.Get(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed[3] ^= 0x40
+	if err := inner.Put(k1, framed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Get(k1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("get of corrupted value: err %v, want ErrCorrupt", err)
+	}
+	batch, err := cs.GetBatch([]string{k1, k2})
+	if err != nil {
+		t.Fatalf("getbatch: %v", err)
+	}
+	if _, ok := batch[k1]; ok {
+		t.Fatal("corrupted key surfaced from GetBatch")
+	}
+	if string(batch[k2]) != "payload-two" {
+		t.Fatalf("healthy neighbor damaged: %q", batch[k2])
+	}
+
+	stats := cs.Stats()
+	if stats.Corrupt != 2 {
+		t.Fatalf("corrupt count %d, want 2 (Get + GetBatch)", stats.Corrupt)
+	}
+	if stats.Verified < 2 {
+		t.Fatalf("verified count %d, want >= 2", stats.Verified)
+	}
+}
+
+// TestChecksummedLegacyPassThrough pins the upgrade path: values written
+// by a pre-checksum binary (no trailer) read back unchanged, so existing
+// caches stay warm after the wrapper is introduced.
+func TestChecksummedLegacyPassThrough(t *testing.T) {
+	inner := NewMemory()
+	legacy := []byte(`{"v":1,"spec":{},"result":{}}` + "\n")
+	if err := inner.Put(key(9), legacy); err != nil {
+		t.Fatal(err)
+	}
+	cs := WithChecksum(inner)
+	got, err := cs.Get(key(9))
+	if err != nil || !bytes.Equal(got, legacy) {
+		t.Fatalf("legacy read: %q, %v", got, err)
+	}
+	if s := cs.Stats(); s.Legacy != 1 || s.Corrupt != 0 {
+		t.Fatalf("stats after legacy read: %+v", s)
+	}
+}
+
+// TestChecksummedTrailerDigitsMangled covers a trailer whose magic
+// survives but whose digits are not hex: classified as corruption, not
+// silently parsed.
+func TestChecksummedTrailerDigitsMangled(t *testing.T) {
+	inner := NewMemory()
+	framed := appendChecksum([]byte("data"))
+	copy(framed[len(framed)-5:], "zzzz\n")
+	if err := inner.Put(key(4), framed); err != nil {
+		t.Fatal(err)
+	}
+	cs := WithChecksum(inner)
+	if _, err := cs.Get(key(4)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mangled trailer digits: err %v, want ErrCorrupt", err)
+	}
+}

@@ -39,6 +39,14 @@ func backends(t *testing.T) map[string]func(t *testing.T) ResultStore {
 			t.Cleanup(func() { b.Close() })
 			return b
 		},
+		"checksum-disk": func(t *testing.T) ResultStore {
+			return WithChecksum(NewDisk(t.TempDir()))
+		},
+		"checksum-remote": func(t *testing.T) ResultStore {
+			srv := httptest.NewServer(Handler(NewMemory()))
+			t.Cleanup(srv.Close)
+			return WithChecksum(NewRemote(srv.URL, srv.Client()))
+		},
 	}
 }
 
